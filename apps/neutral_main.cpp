@@ -1,0 +1,211 @@
+// `neutral` — the mini-app driver binary.
+//
+// The reproduction equivalent of the original mini-app's executable: load a
+// problem (a named paper test case or a .params deck file), pick the
+// parallelisation scheme and the §VI optimisation knobs from the command
+// line, solve, and print a full run report with conservation validation.
+//
+//   $ neutral --problem csp --scheme particles --threads 8
+//   $ neutral --deck my_problem.params --scheme events --tally deferred
+//   $ neutral --problem scatter --profile            # §VI-A grind table
+//   $ neutral --problem csp --heatmap out.ppm        # deposition image
+#include <cstdio>
+#include <string>
+
+#include "core/simulation.h"
+#include "io/deck_io.h"
+#include "io/results_io.h"
+#include "mesh/heatmap.h"
+#include "perf/profiler.h"
+#include "runtime/host_info.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace neutral;
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "particles" || s == "over-particles") return Scheme::kOverParticles;
+  if (s == "events" || s == "over-events") return Scheme::kOverEvents;
+  throw Error("unknown scheme '" + s + "' (particles|events)");
+}
+
+Layout parse_layout(const std::string& s) {
+  if (s == "aos") return Layout::kAoS;
+  if (s == "soa") return Layout::kSoA;
+  throw Error("unknown layout '" + s + "' (aos|soa)");
+}
+
+TallyMode parse_tally(const std::string& s) {
+  if (s == "atomic") return TallyMode::kAtomic;
+  if (s == "privatized") return TallyMode::kPrivatized;
+  if (s == "merge-step") return TallyMode::kPrivatizedMergeEveryStep;
+  if (s == "deferred") return TallyMode::kDeferredAtomic;
+  throw Error("unknown tally mode '" + s +
+              "' (atomic|privatized|merge-step|deferred)");
+}
+
+XsLookup parse_lookup(const std::string& s) {
+  if (s == "binary") return XsLookup::kBinarySearch;
+  if (s == "cached") return XsLookup::kCachedLinear;
+  if (s == "bucketed") return XsLookup::kBucketedIndex;
+  throw Error("unknown lookup '" + s + "' (binary|cached|bucketed)");
+}
+
+SchedulePolicy parse_schedule(const std::string& s) {
+  if (s == "static") return SchedulePolicy::statics();
+  if (s == "dynamic") return SchedulePolicy::dynamic();
+  if (s == "guided") return SchedulePolicy::guided();
+  const auto comma = s.find(',');
+  if (comma != std::string::npos) {
+    const std::string kind = s.substr(0, comma);
+    const int chunk = std::stoi(s.substr(comma + 1));
+    if (kind == "static") return SchedulePolicy::static_chunk(chunk);
+    if (kind == "dynamic") return SchedulePolicy::dynamic(chunk);
+    if (kind == "guided") return SchedulePolicy::guided(chunk);
+  }
+  throw Error("unknown schedule '" + s + "' (static|dynamic|guided[,chunk])");
+}
+
+void print_report(const Simulation& sim, const RunResult& r) {
+  const SimulationConfig& cfg = sim.config();
+  std::printf("\n== neutral run report ==\n");
+  std::printf("problem        : %s  (%d x %d cells, %lld particles, %d "
+              "timesteps)\n",
+              cfg.deck.name.c_str(), cfg.deck.nx, cfg.deck.ny,
+              static_cast<long long>(cfg.deck.n_particles),
+              cfg.deck.n_timesteps);
+  std::printf("configuration  : %s / %s / tally=%s / lookup=%s / "
+              "schedule=%s\n",
+              to_string(cfg.scheme), to_string(cfg.layout),
+              to_string(cfg.tally_mode), to_string(cfg.lookup),
+              cfg.schedule.name().c_str());
+  std::printf("wallclock      : %.4f s   (%.3g events/s)\n", r.total_seconds,
+              r.events_per_second());
+  std::printf("events         : %llu facets (%llu reflections), %llu "
+              "collisions (%llu abs / %llu scat), %llu census\n",
+              static_cast<unsigned long long>(r.counters.facets),
+              static_cast<unsigned long long>(r.counters.reflections),
+              static_cast<unsigned long long>(r.counters.collisions),
+              static_cast<unsigned long long>(r.counters.absorptions),
+              static_cast<unsigned long long>(r.counters.scatters),
+              static_cast<unsigned long long>(r.counters.censuses));
+  std::printf("terminations   : %llu energy cutoff, %llu weight cutoff "
+              "(%llu roulette kills, %llu survivals)\n",
+              static_cast<unsigned long long>(r.counters.deaths_energy),
+              static_cast<unsigned long long>(r.counters.deaths_weight),
+              static_cast<unsigned long long>(r.counters.roulette_kills),
+              static_cast<unsigned long long>(r.counters.roulette_survivals));
+  std::printf("rng draws      : %llu   xs lookups: %llu   tally flushes: "
+              "%llu\n",
+              static_cast<unsigned long long>(r.counters.rng_draws),
+              static_cast<unsigned long long>(r.counters.xs_lookups),
+              static_cast<unsigned long long>(r.counters.tally_flushes));
+  std::printf("tally          : total %.8g eV, checksum %.8g, footprint "
+              "%.1f MB\n",
+              r.budget.tally_total, r.tally_checksum,
+              static_cast<double>(r.tally_footprint_bytes) / (1 << 20));
+  std::printf("population     : %lld surviving of %lld\n",
+              static_cast<long long>(r.population),
+              static_cast<long long>(cfg.deck.n_particles));
+  std::printf("conservation   : energy %.3g, tally consistency %.3g -> %s\n",
+              r.budget.conservation_error(),
+              r.budget.tally_consistency_error(),
+              r.budget.conserved(1e-9) ? "PASS" : "FAIL");
+}
+
+void print_profile(const Simulation& sim, const RunResult& r) {
+  const PhaseProfiler* profiler = sim.profiler();
+  if (profiler == nullptr) return;
+  const auto report = profiler->report();
+  const double ghz = PhaseProfiler::tsc_ghz();
+  std::printf("\n== §VI-A phase profile ==\n");
+  std::printf("%-14s %12s %14s %10s\n", "phase", "visits", "ns/visit",
+              "share");
+  for (int p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    if (report.visits[p] == 0) continue;
+    std::printf("%-14s %12llu %14.1f %9.1f%%\n", to_string(phase),
+                static_cast<unsigned long long>(report.visits[p]),
+                report.cycles_per_visit(phase) / ghz,
+                100.0 * report.fraction(phase));
+  }
+  (void)r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    const std::string problem =
+        cli.option("problem", "csp", "built-in problem: stream|scatter|csp");
+    const std::string deck_file =
+        cli.option("deck", "", "load a .params deck file instead");
+    const double mesh_scale = cli.option_double(
+        "mesh-scale", 0.08, "mesh resolution vs the paper's 4000^2");
+    const double particle_scale = cli.option_double(
+        "particle-scale", 0.02, "particles vs the paper's 1e6/1e7");
+    SimulationConfig config;
+    config.scheme = parse_scheme(
+        cli.option("scheme", "particles", "particles|events (§V)"));
+    config.layout = parse_layout(cli.option("layout", "aos", "aos|soa (§VI-D)"));
+    config.tally_mode = parse_tally(cli.option(
+        "tally", "atomic", "atomic|privatized|merge-step|deferred (§VI-F/G)"));
+    config.lookup = parse_lookup(
+        cli.option("lookup", "cached", "binary|cached|bucketed (§VI-A)"));
+    config.schedule = parse_schedule(
+        cli.option("schedule", "static", "static|dynamic|guided[,chunk] (§VI-C)"));
+    config.threads =
+        static_cast<std::int32_t>(cli.option_int("threads", 0, "OpenMP threads (0 = default)"));
+    config.profile = cli.flag("profile", "enable the §VI-A phase profiler");
+    const long timesteps = cli.option_int("timesteps", 0, "override deck timesteps");
+    const long particles = cli.option_int("particles", 0, "override deck particle count");
+    const std::string heatmap =
+        cli.option("heatmap", "", "write the deposition heat map (PPM)");
+    const std::string record =
+        cli.option("record", "", "write a .results regression record");
+    const std::string verify =
+        cli.option("verify", "", "verify against a .results record");
+    if (!cli.finish()) return 0;
+
+    config.deck = deck_file.empty()
+                      ? deck_by_name(problem, mesh_scale, particle_scale)
+                      : load_deck(deck_file);
+    if (timesteps > 0) config.deck.n_timesteps = static_cast<std::int32_t>(timesteps);
+    if (particles > 0) config.deck.n_particles = particles;
+    if (config.scheme == Scheme::kOverEvents &&
+        config.tally_mode == TallyMode::kAtomic) {
+      // The paper's Over Events configuration hoists atomics into the
+      // separate tally loop (§VI-G); make that the scheme's default.
+      config.tally_mode = TallyMode::kDeferredAtomic;
+    }
+
+    std::printf("# neutral-mc (%s)\n", host_banner().c_str());
+    Simulation sim(config);
+    const RunResult result = sim.run();
+    print_report(sim, result);
+    if (config.profile) print_profile(sim, result);
+    if (!heatmap.empty()) {
+      write_heatmap_ppm(heatmap, sim.mesh(), sim.tally().data());
+      std::printf("heatmap        : wrote %s\n", heatmap.c_str());
+    }
+    if (!record.empty()) {
+      save_results(make_expected(config, result), record);
+      std::printf("record         : wrote %s\n", record.c_str());
+    }
+    bool ok = result.budget.conserved(1e-9);
+    if (!verify.empty()) {
+      const ResultsCheck check =
+          verify_results(load_results(verify), config, result);
+      std::printf("verification   : %s%s%s\n", check.passed ? "PASS" : "FAIL",
+                  check.passed ? "" : " — ", check.detail.c_str());
+      ok = ok && check.passed;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "neutral: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,36 @@
+// Figure 5: SoA vs AoS particle storage for the Over Particles scheme
+// (§VI-D).  The paper finds AoS faster on CPUs for every problem: a
+// history touches all of its particle's fields, so the record layout loads
+// one or two lines where SoA scatters across fourteen arrays.
+#include "bench_common.h"
+
+using namespace neutral;
+using namespace neutral::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli(argc, argv);
+  BenchScale scale;
+  scale.reps = 3;
+  if (!BenchScale::parse(cli, &scale)) return 0;
+  const std::string csv = banner("fig05_layout", "Fig 5 (SoA vs AoS)", scale);
+
+  ResultTable table("Fig 5 — Over Particles runtime by particle layout",
+                    {"problem", "AoS [s]", "SoA [s]", "SoA/AoS"});
+  for (const std::string name : {"stream", "scatter", "csp"}) {
+    SimulationConfig aos;
+    aos.deck = scale.deck(name);
+    aos.layout = Layout::kAoS;
+    SimulationConfig soa = aos;
+    soa.layout = Layout::kSoA;
+    const double t_aos = best_seconds(aos, scale.reps);
+    const double t_soa = best_seconds(soa, scale.reps);
+    table.add_row({name, ResultTable::cell(t_aos, 3),
+                   ResultTable::cell(t_soa, 3),
+                   ResultTable::cell(t_soa / t_aos, 3)});
+  }
+
+  table.print();
+  table.write_csv(csv);
+  std::printf("\npaper: SoA slower than AoS on CPU for all test cases.\n");
+  return 0;
+}

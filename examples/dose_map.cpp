@@ -1,0 +1,81 @@
+// Medical-physics workload: radiation dose in a layered phantom.
+//
+// The paper motivates Monte Carlo transport with radiation-dosage
+// calculations (§III-A).  This example builds a custom deck — a beam
+// entering a phantom of tissue / bone / tissue layers — and reports the
+// depth-dose profile (energy deposited per depth slab) plus a 2D dose map.
+//
+//   $ ./dose_map [--particles N] [--out dose_map.ppm]
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.h"
+#include "mesh/heatmap.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace neutral;
+
+  CliParser cli(argc, argv);
+  const long particles = cli.option_int("particles", 20000, "histories");
+  const std::string out = cli.option("out", "dose_map.ppm", "dose map path");
+  if (!cli.finish()) return 0;
+
+  // A 40 cm x 40 cm phantom, 320^2 cells.  Beam enters from the left edge.
+  ProblemDeck deck;
+  deck.name = "phantom";
+  deck.nx = deck.ny = 320;
+  deck.width_cm = deck.height_cm = 40.0;
+  deck.base_density_kg_m3 = 1.5;  // "tissue" (dummy-material units)
+  // A dense "bone" slab from 18 to 24 cm depth.
+  RegionSpec bone;
+  bone.x0 = 18.0; bone.x1 = 24.0;
+  bone.y0 = 0.0;  bone.y1 = 40.0;
+  bone.density_kg_m3 = 25.0;  // "bone": ~17x denser than tissue
+  deck.regions.push_back(bone);
+  // Narrow source column at the left, mid-height: an entering beam.
+  deck.src_x0 = 0.0;  deck.src_x1 = 0.5;
+  deck.src_y0 = 17.0; deck.src_y1 = 23.0;
+  deck.initial_energy_ev = 1.0e6;
+  deck.n_particles = particles;
+  deck.dt_s = 5.0e-8;
+  deck.n_timesteps = 1;
+  deck.seed = 2026;
+
+  SimulationConfig config;
+  config.deck = deck;
+  Simulation sim(config);
+  const RunResult result = sim.run();
+  std::printf("transported %lld particles in %.3f s (%llu collisions)\n",
+              static_cast<long long>(deck.n_particles), result.total_seconds,
+              static_cast<unsigned long long>(result.counters.collisions));
+
+  // Depth-dose: sum tally columns into 20 depth slabs.
+  const StructuredMesh2D& mesh = sim.mesh();
+  const double* tally = sim.tally().data();
+  const int slabs = 20;
+  std::vector<double> dose(slabs, 0.0);
+  for (std::int32_t j = 0; j < mesh.ny(); ++j) {
+    for (std::int32_t i = 0; i < mesh.nx(); ++i) {
+      const int s = i * slabs / mesh.nx();
+      dose[static_cast<std::size_t>(s)] +=
+          tally[mesh.flat_index({i, j})];
+    }
+  }
+  double peak = 0.0;
+  for (double d : dose) peak = std::max(peak, d);
+  std::printf("\ndepth-dose profile (normalised to peak):\n");
+  for (int s = 0; s < slabs; ++s) {
+    const double depth = (s + 0.5) * deck.width_cm / slabs;
+    const double frac = peak > 0.0 ? dose[static_cast<std::size_t>(s)] / peak : 0.0;
+    std::printf("%5.1f cm | %-50.*s %.3f\n", depth,
+                static_cast<int>(frac * 50.0),
+                "##################################################", frac);
+  }
+  std::printf("\nexpect the dose to build through the tissue, spike inside\n"
+              "the dense bone slab (18-24 cm), and fall beyond it.\n");
+
+  write_heatmap_ppm(out, mesh, tally);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

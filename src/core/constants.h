@@ -1,0 +1,23 @@
+// Physical constants used by the transport kernels.
+//
+// Internal unit system: energy in eV, length in cm, time in s, mass density
+// in g/cm^3 (decks accept kg/m^3).  These are the conventions of the
+// original mini-app's nuclear-data heritage (cross sections in barns,
+// macroscopic cross sections in 1/cm).
+#pragma once
+
+namespace neutral {
+
+/// Neutron rest mass [kg] (CODATA 2018).
+inline constexpr double kNeutronMassKg = 1.67492749804e-27;
+
+/// Electron-volt [J] (exact, SI 2019).
+inline constexpr double kEvToJ = 1.602176634e-19;
+
+/// Speed of a non-relativistic neutron with kinetic energy E [eV], in cm/s:
+/// v = 100 * sqrt(2 E q / m).  The prefactor is precomputed; multiply by
+/// sqrt(E_ev).  (1 MeV -> 1.383e9 cm/s, ~4.6% of c: the non-relativistic
+/// approximation is good to <2% across the table range.)
+inline constexpr double kSpeedPerSqrtEv = 1.3831593e6;  // cm/s per sqrt(eV)
+
+}  // namespace neutral

@@ -1,0 +1,278 @@
+#include "core/over_events.h"
+
+#include <omp.h>
+
+#include "core/step.h"
+#include "runtime/timer.h"
+#include "util/error.h"
+
+namespace neutral {
+
+OverEventsKernelTimes& OverEventsKernelTimes::operator+=(
+    const OverEventsKernelTimes& o) {
+  event_search += o.event_search;
+  collisions += o.collisions;
+  facets += o.facets;
+  census += o.census;
+  tally += o.tally;
+  iterations += o.iterations;
+  return *this;
+}
+
+OverEventsWorkspace::OverEventsWorkspace(std::size_t n_particles) {
+  micro_a_.resize(n_particles);
+  micro_s_.resize(n_particles);
+  number_density_.resize(n_particles);
+  sigma_a_.resize(n_particles);
+  sigma_t_.resize(n_particles);
+  speed_.resize(n_particles);
+  pending_.resize(n_particles);
+  flat_cell_.resize(n_particles);
+  next_event_.assign(n_particles, kNoEvent);
+  facet_distance_.resize(n_particles);
+  facet_axis_.resize(n_particles);
+  facet_step_.resize(n_particles);
+  facet_boundary_.resize(n_particles);
+}
+
+std::uint64_t OverEventsWorkspace::footprint_bytes() const {
+  const std::size_t n = size();
+  return n * (8 * sizeof(double) + sizeof(std::int64_t) + 3 + 2 +
+              sizeof(double));
+}
+
+namespace {
+
+/// Gather the streamed flight state of particle i into registers — the
+/// memory traffic that distinguishes this scheme (§VII-A.2).
+template <class View>
+inline FlightState load_fs(const OverEventsWorkspace& ws, std::size_t i) {
+  FlightState fs;
+  fs.micro_a = ws.micro_a_[i];
+  fs.micro_s = ws.micro_s_[i];
+  fs.n = ws.number_density_[i];
+  fs.sigma_a = ws.sigma_a_[i];
+  fs.sigma_t = ws.sigma_t_[i];
+  fs.speed = ws.speed_[i];
+  fs.pending_deposit = ws.pending_[i];
+  fs.flat_cell = ws.flat_cell_[i];
+  return fs;
+}
+
+inline void store_fs(OverEventsWorkspace& ws, std::size_t i,
+                     const FlightState& fs) {
+  ws.micro_a_[i] = fs.micro_a;
+  ws.micro_s_[i] = fs.micro_s;
+  ws.number_density_[i] = fs.n;
+  ws.sigma_a_[i] = fs.sigma_a;
+  ws.sigma_t_[i] = fs.sigma_t;
+  ws.speed_[i] = fs.speed;
+  ws.pending_[i] = fs.pending_deposit;
+  ws.flat_cell_[i] = fs.flat_cell;
+}
+
+/// Parallel masked foreach over the whole particle list.  Every kernel
+/// visits all particles and checks the mask — the gather pattern the paper
+/// describes (§V-B "particles are gathered from memory").
+///
+/// The simd variant requests vectorisation with `omp for simd`; the scalar
+/// variant compiles with auto-vectorisation disabled so the Fig 8
+/// comparison measures a genuinely unvectorised baseline.
+template <class Body>
+void masked_foreach_simd(std::int64_t n,
+                         aligned_vector<Padded<EventCounters>>& counters,
+                         Body body) {
+#pragma omp parallel
+  {
+    const std::int32_t t = omp_get_thread_num();
+    EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+#pragma omp for simd schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t);
+  }
+}
+
+template <class Body>
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+void masked_foreach_scalar(std::int64_t n,
+                           aligned_vector<Padded<EventCounters>>& counters,
+                           Body body) {
+#pragma omp parallel
+  {
+    const std::int32_t t = omp_get_thread_num();
+    EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t);
+  }
+}
+
+template <bool Simd, class Body>
+void masked_foreach(std::int64_t n,
+                    aligned_vector<Padded<EventCounters>>& counters,
+                    Body body) {
+  if constexpr (Simd) {
+    masked_foreach_simd(n, counters, body);
+  } else {
+    masked_foreach_scalar(n, counters, body);
+  }
+}
+
+template <class View>
+EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
+                    const OverEventsOptions& opt, OverEventsWorkspace& ws,
+                    OverEventsKernelTimes* times) {
+  NEUTRAL_REQUIRE(ws.size() == v.size(),
+                  "workspace must be sized to the particle container");
+  const auto n = static_cast<std::int64_t>(v.size());
+  const std::int32_t max_threads = omp_get_max_threads();
+  aligned_vector<Padded<EventCounters>> counters(
+      static_cast<std::size_t>(max_threads));
+  NoHooks hooks;
+
+  // Wake survivors and (re)build their streamed flight state.
+#pragma omp parallel
+  {
+    const std::int32_t t = omp_get_thread_num();
+    EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+    NoHooks hk;
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (v.state(i) == ParticleState::kCensus) {
+        v.state(i) = ParticleState::kAlive;
+        v.dt_to_census(i) = dt_s;
+      }
+      if (v.state(i) == ParticleState::kAlive) {
+        FlightState fs;
+        load_flight_state(v, static_cast<std::size_t>(i), ctx, fs, ec, hk);
+        store_fs(ws, static_cast<std::size_t>(i), fs);
+      }
+      ws.next_event_[static_cast<std::size_t>(i)] = kNoEvent;
+    }
+  }
+
+  // Breadth-first main loop: one iteration advances the whole population by
+  // a single event (Listing 2).
+  for (;;) {
+    WallTimer timer;
+    std::int64_t in_flight = 0;
+
+    // Kernel 1: event search — compute times-to-event, select, move.
+    auto search = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
+      const auto u = static_cast<std::size_t>(i);
+      if (v.state(u) != ParticleState::kAlive) {
+        ws.next_event_[u] = kNoEvent;
+        return;
+      }
+      FlightState fs = load_fs<View>(ws, u);
+      const EventSelection sel = select_and_move(v, u, ctx, fs, ec, hooks);
+      ws.next_event_[u] = static_cast<std::uint8_t>(sel.event);
+      ws.facet_distance_[u] = sel.facet.distance;
+      ws.facet_axis_[u] = sel.facet.axis;
+      ws.facet_step_[u] = sel.facet.step;
+      ws.facet_boundary_[u] = sel.facet.at_boundary ? 1 : 0;
+      store_fs(ws, u, fs);
+    };
+#pragma omp parallel for schedule(static) reduction(+ : in_flight)
+    for (std::int64_t i = 0; i < n; ++i) {
+      in_flight += (v.state(static_cast<std::size_t>(i)) ==
+                    ParticleState::kAlive)
+                       ? 1
+                       : 0;
+    }
+    if (in_flight == 0) break;
+    if (opt.simd_event_search) {
+      masked_foreach<true>(n, counters, search);
+    } else {
+      masked_foreach<false>(n, counters, search);
+    }
+    if (times != nullptr) {
+      times->event_search += timer.seconds();
+      ++times->iterations;
+    }
+
+    // Kernel 2: collisions.
+    timer.restart();
+    auto collide = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+      const auto u = static_cast<std::size_t>(i);
+      if (ws.next_event_[u] !=
+          static_cast<std::uint8_t>(EventType::kCollision)) {
+        return;
+      }
+      FlightState fs = load_fs<View>(ws, u);
+      handle_collision(v, u, ctx, fs, ec, t, hooks);
+      store_fs(ws, u, fs);
+    };
+    if (opt.simd_collisions) {
+      masked_foreach<true>(n, counters, collide);
+    } else {
+      masked_foreach<false>(n, counters, collide);
+    }
+    if (times != nullptr) times->collisions += timer.seconds();
+
+    // Kernel 3: facets.
+    timer.restart();
+    auto cross = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+      const auto u = static_cast<std::size_t>(i);
+      if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kFacet)) {
+        return;
+      }
+      FlightState fs = load_fs<View>(ws, u);
+      FacetIntersection facet;
+      facet.distance = ws.facet_distance_[u];
+      facet.axis = ws.facet_axis_[u];
+      facet.step = ws.facet_step_[u];
+      facet.at_boundary = ws.facet_boundary_[u] != 0;
+      handle_facet(v, u, ctx, facet, fs, ec, t, hooks);
+      store_fs(ws, u, fs);
+    };
+    if (opt.simd_facets) {
+      masked_foreach<true>(n, counters, cross);
+    } else {
+      masked_foreach<false>(n, counters, cross);
+    }
+    if (times != nullptr) times->facets += timer.seconds();
+
+    // Kernel 4: census.
+    timer.restart();
+    auto census = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+      const auto u = static_cast<std::size_t>(i);
+      if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCensus)) {
+        return;
+      }
+      FlightState fs = load_fs<View>(ws, u);
+      handle_census(v, u, ctx, fs, ec, t, hooks);
+      store_fs(ws, u, fs);
+    };
+    masked_foreach<false>(n, counters, census);
+    if (times != nullptr) times->census += timer.seconds();
+
+    // Kernel 5: the separate tally loop (§VI-G) — drains the deposits the
+    // handlers deferred when the tally runs in kDeferredAtomic mode.
+    timer.restart();
+    ctx.tally->drain_deferred();
+    if (times != nullptr) times->tally += timer.seconds();
+  }
+
+  EventCounters total;
+  for (const auto& tc : counters) total += tc.value;
+  return total;
+}
+
+}  // namespace
+
+EventCounters over_events_step(const SoaView& v, const TransportContext& ctx,
+                               double dt_s, const OverEventsOptions& opt,
+                               OverEventsWorkspace& ws,
+                               OverEventsKernelTimes* times) {
+  return drive(v, ctx, dt_s, opt, ws, times);
+}
+
+EventCounters over_events_step(const AosView& v, const TransportContext& ctx,
+                               double dt_s, const OverEventsOptions& opt,
+                               OverEventsWorkspace& ws,
+                               OverEventsKernelTimes* times) {
+  return drive(v, ctx, dt_s, opt, ws, times);
+}
+
+}  // namespace neutral

@@ -1,0 +1,127 @@
+// Particle storage: Array-of-Structures and Structure-of-Arrays (paper §VI-D).
+//
+// The data-structure experiment (Fig 5) compares an AoS record — one cache
+// block per particle, ideal for the Over Particles scheme where a thread
+// owns a whole history — against SoA — separate field arrays, ideal for
+// coalesced/vectorised access in the Over Events scheme.
+//
+// Transport kernels are written once against a *view* concept: `AosView`
+// and `SoaView` expose identical per-field accessors, so the layout flip is
+// a template parameter, not a code fork.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace neutral {
+
+/// Life-cycle state of a particle within a timestep.
+enum class ParticleState : std::uint8_t {
+  kCensus = 0,  ///< alive, waiting for the next timestep (or newly born)
+  kAlive = 1,   ///< in flight within the current timestep
+  kDead = 2,    ///< history terminated (energy/weight cutoff)
+};
+
+/// AoS particle record (~96 bytes, 1.5 cache lines).
+///
+/// Fields mirror the mini-app: position, direction, energy, statistical
+/// weight, the per-event clocks (time to census, mean-free-paths to
+/// collision — §IV-A "individual timers for each event"), mesh coordinates,
+/// the cached cross-section table index (§VI-A) and the counter-based RNG
+/// stream state (§IV-F).
+struct Particle {
+  double x = 0.0;                 ///< cm
+  double y = 0.0;                 ///< cm
+  double omega_x = 0.0;           ///< direction cosine (unit vector)
+  double omega_y = 0.0;
+  double energy = 0.0;            ///< eV
+  double weight = 0.0;            ///< statistical weight (§IV-E)
+  double dt_to_census = 0.0;      ///< s remaining in this timestep
+  double mfp_to_collision = 0.0;  ///< mean-free-paths to next collision
+  std::int32_t cellx = 0;         ///< mesh cell index (source of truth)
+  std::int32_t celly = 0;
+  std::int32_t xs_index = 0;      ///< cached energy-bin hint (§VI-A)
+  ParticleState state = ParticleState::kCensus;
+  std::uint64_t rng_counter = 0;  ///< counter-based stream position
+  std::uint64_t id = 0;           ///< keys the RNG stream; stable for life
+};
+
+/// SoA particle container: one aligned array per field.
+class ParticleSoA {
+ public:
+  explicit ParticleSoA(std::size_t n = 0) { resize(n); }
+
+  void resize(std::size_t n) {
+    x.resize(n); y.resize(n);
+    omega_x.resize(n); omega_y.resize(n);
+    energy.resize(n); weight.resize(n);
+    dt_to_census.resize(n); mfp_to_collision.resize(n);
+    cellx.resize(n); celly.resize(n); xs_index.resize(n);
+    state.resize(n, ParticleState::kCensus);
+    rng_counter.resize(n); id.resize(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+
+  aligned_vector<double> x, y, omega_x, omega_y, energy, weight;
+  aligned_vector<double> dt_to_census, mfp_to_collision;
+  aligned_vector<std::int32_t> cellx, celly, xs_index;
+  aligned_vector<ParticleState> state;
+  aligned_vector<std::uint64_t> rng_counter, id;
+};
+
+/// View over a contiguous AoS particle array.
+class AosView {
+ public:
+  AosView(Particle* p, std::size_t n) : p_(p), n_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  double& x(std::size_t i) const { return p_[i].x; }
+  double& y(std::size_t i) const { return p_[i].y; }
+  double& omega_x(std::size_t i) const { return p_[i].omega_x; }
+  double& omega_y(std::size_t i) const { return p_[i].omega_y; }
+  double& energy(std::size_t i) const { return p_[i].energy; }
+  double& weight(std::size_t i) const { return p_[i].weight; }
+  double& dt_to_census(std::size_t i) const { return p_[i].dt_to_census; }
+  double& mfp_to_collision(std::size_t i) const { return p_[i].mfp_to_collision; }
+  std::int32_t& cellx(std::size_t i) const { return p_[i].cellx; }
+  std::int32_t& celly(std::size_t i) const { return p_[i].celly; }
+  std::int32_t& xs_index(std::size_t i) const { return p_[i].xs_index; }
+  ParticleState& state(std::size_t i) const { return p_[i].state; }
+  std::uint64_t& rng_counter(std::size_t i) const { return p_[i].rng_counter; }
+  std::uint64_t& id(std::size_t i) const { return p_[i].id; }
+
+ private:
+  Particle* p_;
+  std::size_t n_;
+};
+
+/// View over a ParticleSoA.
+class SoaView {
+ public:
+  explicit SoaView(ParticleSoA& s) : s_(&s) {}
+
+  [[nodiscard]] std::size_t size() const { return s_->size(); }
+
+  double& x(std::size_t i) const { return s_->x[i]; }
+  double& y(std::size_t i) const { return s_->y[i]; }
+  double& omega_x(std::size_t i) const { return s_->omega_x[i]; }
+  double& omega_y(std::size_t i) const { return s_->omega_y[i]; }
+  double& energy(std::size_t i) const { return s_->energy[i]; }
+  double& weight(std::size_t i) const { return s_->weight[i]; }
+  double& dt_to_census(std::size_t i) const { return s_->dt_to_census[i]; }
+  double& mfp_to_collision(std::size_t i) const { return s_->mfp_to_collision[i]; }
+  std::int32_t& cellx(std::size_t i) const { return s_->cellx[i]; }
+  std::int32_t& celly(std::size_t i) const { return s_->celly[i]; }
+  std::int32_t& xs_index(std::size_t i) const { return s_->xs_index[i]; }
+  ParticleState& state(std::size_t i) const { return s_->state[i]; }
+  std::uint64_t& rng_counter(std::size_t i) const { return s_->rng_counter[i]; }
+  std::uint64_t& id(std::size_t i) const { return s_->id[i]; }
+
+ private:
+  ParticleSoA* s_;
+};
+
+}  // namespace neutral

@@ -1,0 +1,183 @@
+#include "core/simulation.h"
+
+#include <omp.h>
+
+#include "core/init.h"
+#include "runtime/timer.h"
+#include "util/error.h"
+#include "xs/synthetic.h"
+
+namespace neutral {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kOverParticles: return "over-particles";
+    case Scheme::kOverEvents: return "over-events";
+  }
+  return "?";
+}
+
+const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::kAoS: return "AoS";
+    case Layout::kSoA: return "SoA";
+  }
+  return "?";
+}
+
+namespace {
+
+StructuredMesh2D make_mesh(const ProblemDeck& d) {
+  return StructuredMesh2D(d.nx, d.ny, d.width_cm, d.height_cm);
+}
+
+DensityField make_density(const StructuredMesh2D& mesh, const ProblemDeck& d) {
+  DensityField field(mesh, d.base_density_kg_m3);
+  for (const RegionSpec& r : d.regions) {
+    field.fill_rect(r.x0, r.y0, r.x1, r.y1, r.density_kg_m3);
+  }
+  return field;
+}
+
+}  // namespace
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)),
+      mesh_(make_mesh(config_.deck)),
+      density_(make_density(mesh_, config_.deck)),
+      xs_capture_(make_capture_table(config_.deck.xs)),
+      xs_scatter_(make_scatter_table(config_.deck.xs)),
+      tally_(mesh_.num_cells(),
+             config_.tally_mode,
+             config_.threads > 0 ? config_.threads : omp_get_max_threads()) {
+  NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
+  // The per-particle cached bin index is shared by both tables, which is
+  // only sound when their energy grids coincide (synthetic tables built
+  // from one config always do).
+  NEUTRAL_REQUIRE(xs_capture_.size() == xs_scatter_.size(),
+                  "capture/scatter tables must share an energy grid");
+
+  if (config_.threads > 0) set_thread_count(config_.threads);
+  if (config_.profile) {
+    profiler_ = std::make_unique<PhaseProfiler>(omp_get_max_threads());
+  }
+
+  ctx_.mesh = &mesh_;
+  ctx_.density = &density_;
+  ctx_.xs_capture = &xs_capture_;
+  ctx_.xs_scatter = &xs_scatter_;
+  ctx_.tally = &tally_;
+  ctx_.lookup = config_.lookup;
+  ctx_.molar_mass_g_mol = config_.deck.molar_mass_g_mol;
+  ctx_.mass_number = config_.deck.mass_number;
+  ctx_.min_energy_ev = config_.deck.min_energy_ev;
+  ctx_.min_weight = config_.deck.min_weight;
+  ctx_.roulette_survival = config_.deck.roulette_survival;
+  ctx_.seed = config_.deck.seed;
+  ctx_.profiler = profiler_.get();
+
+  const auto n = static_cast<std::size_t>(config_.deck.n_particles);
+  if (config_.layout == Layout::kAoS) {
+    aos_.resize(n);
+    initialise_particles(AosView(aos_.data(), n), config_.deck, mesh_);
+  } else {
+    soa_.resize(n);
+    initialise_particles(SoaView(soa_), config_.deck, mesh_);
+  }
+  if (config_.scheme == Scheme::kOverEvents) {
+    workspace_ = std::make_unique<OverEventsWorkspace>(n);
+  }
+}
+
+StepResult Simulation::step_aos() {
+  StepResult result;
+  AosView view(aos_.data(), aos_.size());
+  WallTimer timer;
+  if (config_.scheme == Scheme::kOverParticles) {
+    OverParticlesOptions opt;
+    opt.schedule = config_.schedule;
+    opt.profile = config_.profile;
+    result.counters = over_particles_step(view, ctx_, config_.deck.dt_s, opt);
+  } else {
+    result.counters =
+        over_events_step(view, ctx_, config_.deck.dt_s, config_.over_events,
+                         *workspace_, &result.kernel_times);
+  }
+  if (tally_.merge_each_step()) tally_.merge();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+StepResult Simulation::step_soa() {
+  StepResult result;
+  SoaView view(soa_);
+  WallTimer timer;
+  if (config_.scheme == Scheme::kOverParticles) {
+    OverParticlesOptions opt;
+    opt.schedule = config_.schedule;
+    opt.profile = config_.profile;
+    result.counters = over_particles_step(view, ctx_, config_.deck.dt_s, opt);
+  } else {
+    result.counters =
+        over_events_step(view, ctx_, config_.deck.dt_s, config_.over_events,
+                         *workspace_, &result.kernel_times);
+  }
+  if (tally_.merge_each_step()) tally_.merge();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+StepResult Simulation::step() {
+  StepResult result =
+      config_.layout == Layout::kAoS ? step_aos() : step_soa();
+  accumulated_ += result.counters;
+  accumulated_kernel_times_ += result.kernel_times;
+  total_seconds_ += result.seconds;
+  step_results_.push_back(result);
+  return result;
+}
+
+std::int64_t Simulation::surviving_population() const {
+  if (config_.layout == Layout::kAoS) {
+    return population(AosView(const_cast<Particle*>(aos_.data()), aos_.size()));
+  }
+  return population(SoaView(const_cast<ParticleSoA&>(soa_)));
+}
+
+double Simulation::bank_in_flight_energy() const {
+  if (config_.layout == Layout::kAoS) {
+    return in_flight_energy(
+        AosView(const_cast<Particle*>(aos_.data()), aos_.size()));
+  }
+  return in_flight_energy(SoaView(const_cast<ParticleSoA&>(soa_)));
+}
+
+RunResult Simulation::summary() const {
+  RunResult r;
+  r.total_seconds = total_seconds_;
+  r.steps = step_results_;
+  r.counters = accumulated_;
+  r.kernel_times = accumulated_kernel_times_;
+
+  // Budget requires merged tallies; merge is safe/idempotent here.
+  const_cast<EnergyTally&>(tally_).merge();
+  r.budget.initial = initial_bank_energy(config_.deck);
+  r.budget.released = accumulated_.released_energy;
+  r.budget.in_flight = bank_in_flight_energy();
+  r.budget.tally_total = tally_.total();
+  r.budget.path_heating = accumulated_.path_heating;
+  r.budget.roulette_gained = accumulated_.roulette_gained_energy;
+  r.budget.roulette_killed = accumulated_.roulette_killed_energy;
+  r.tally_checksum = positional_checksum(tally_.data(), tally_.cells());
+  r.population = surviving_population();
+  r.tally_footprint_bytes = tally_.footprint_bytes();
+  return r;
+}
+
+RunResult Simulation::run() {
+  for (std::int32_t s = 0; s < config_.deck.n_timesteps; ++s) step();
+  tally_.merge();
+  return summary();
+}
+
+}  // namespace neutral

@@ -1,0 +1,131 @@
+// Simulation facade: owns the world and runs a configured solve.
+//
+// This is the public entry point examples and benchmarks use; it wires the
+// deck into a mesh + density field + cross-section tables + tally + bank,
+// then dispatches timesteps to the configured parallelisation scheme.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/counters.h"
+#include "core/deck.h"
+#include "core/over_events.h"
+#include "core/over_particles.h"
+#include "core/particle.h"
+#include "core/tally.h"
+#include "core/validation.h"
+#include "mesh/density_field.h"
+#include "mesh/mesh2d.h"
+#include "perf/profiler.h"
+#include "runtime/schedule.h"
+#include "xs/table.h"
+
+namespace neutral {
+
+enum class Scheme : std::uint8_t {
+  kOverParticles = 0,  ///< §V-A, Listing 1
+  kOverEvents = 1,     ///< §V-B, Listing 2
+};
+const char* to_string(Scheme s);
+
+enum class Layout : std::uint8_t {
+  kAoS = 0,  ///< array of particle records (§VI-D)
+  kSoA = 1,  ///< one array per field
+};
+const char* to_string(Layout l);
+
+struct SimulationConfig {
+  ProblemDeck deck;
+  Scheme scheme = Scheme::kOverParticles;
+  Layout layout = Layout::kAoS;
+  TallyMode tally_mode = TallyMode::kAtomic;
+  XsLookup lookup = XsLookup::kCachedLinear;
+  SchedulePolicy schedule = SchedulePolicy::statics();
+  /// OpenMP thread count; 0 keeps the ambient setting.
+  std::int32_t threads = 0;
+  /// Enable §VI-A phase profiling (Over Particles only).
+  bool profile = false;
+  OverEventsOptions over_events;
+};
+
+/// Outcome of one timestep.
+struct StepResult {
+  double seconds = 0.0;
+  EventCounters counters;
+  OverEventsKernelTimes kernel_times;  ///< populated by Over Events only
+};
+
+/// Outcome of a full run.
+struct RunResult {
+  double total_seconds = 0.0;
+  std::vector<StepResult> steps;
+  EventCounters counters;             ///< accumulated over all steps
+  OverEventsKernelTimes kernel_times; ///< accumulated (Over Events)
+  EnergyBudget budget;
+  double tally_checksum = 0.0;        ///< positional checksum of the tally
+  std::int64_t population = 0;        ///< surviving particles
+  std::uint64_t tally_footprint_bytes = 0;
+
+  /// Events per second — the throughput figure the harness reports.
+  [[nodiscard]] double events_per_second() const {
+    return total_seconds > 0.0
+               ? static_cast<double>(counters.total_events()) / total_seconds
+               : 0.0;
+  }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  /// Advance one timestep and return its result.
+  StepResult step();
+
+  /// Run deck.n_timesteps timesteps and assemble the full result
+  /// (including the energy budget and tally checksum).
+  RunResult run();
+
+  /// Recompute budget/checksum without advancing (used after step() calls).
+  [[nodiscard]] RunResult summary() const;
+
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+  [[nodiscard]] const StructuredMesh2D& mesh() const { return mesh_; }
+  [[nodiscard]] const DensityField& density() const { return density_; }
+  [[nodiscard]] const EnergyTally& tally() const { return tally_; }
+  [[nodiscard]] EnergyTally& tally() { return tally_; }
+  [[nodiscard]] const PhaseProfiler* profiler() const {
+    return profiler_.get();
+  }
+
+  /// Read-only access to the particle bank (layout-dependent).
+  [[nodiscard]] std::int64_t surviving_population() const;
+  [[nodiscard]] double bank_in_flight_energy() const;
+
+ private:
+  StepResult step_aos();
+  StepResult step_soa();
+
+  SimulationConfig config_;
+  StructuredMesh2D mesh_;
+  DensityField density_;
+  CrossSectionTable xs_capture_;
+  CrossSectionTable xs_scatter_;
+  EnergyTally tally_;
+  std::unique_ptr<PhaseProfiler> profiler_;
+
+  std::vector<Particle> aos_;
+  ParticleSoA soa_;
+  std::unique_ptr<OverEventsWorkspace> workspace_;
+
+  TransportContext ctx_;
+  EventCounters accumulated_;
+  OverEventsKernelTimes accumulated_kernel_times_;
+  std::vector<StepResult> step_results_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace neutral

@@ -1,0 +1,93 @@
+#include "core/tally.h"
+
+#include "util/numeric.h"
+
+namespace neutral {
+
+const char* to_string(TallyMode mode) {
+  switch (mode) {
+    case TallyMode::kAtomic: return "atomic";
+    case TallyMode::kPrivatized: return "privatized";
+    case TallyMode::kPrivatizedMergeEveryStep: return "privatized-merge-step";
+    case TallyMode::kDeferredAtomic: return "deferred-atomic";
+  }
+  return "?";
+}
+
+EnergyTally::EnergyTally(std::int64_t cells, TallyMode mode,
+                         std::int32_t threads)
+    : mode_(mode) {
+  NEUTRAL_REQUIRE(cells > 0, "tally needs at least one cell");
+  NEUTRAL_REQUIRE(threads >= 1, "tally needs at least one thread slot");
+  global_.assign(static_cast<std::size_t>(cells), 0.0);
+  if (mode == TallyMode::kPrivatized ||
+      mode == TallyMode::kPrivatizedMergeEveryStep) {
+    privates_.resize(static_cast<std::size_t>(threads));
+    for (auto& p : privates_) p.assign(static_cast<std::size_t>(cells), 0.0);
+  } else if (mode == TallyMode::kDeferredAtomic) {
+    deferred_.resize(static_cast<std::size_t>(threads));
+  }
+}
+
+void EnergyTally::drain_deferred() {
+  if (mode_ != TallyMode::kDeferredAtomic) return;
+  // Each thread drains its own buffer; cells can collide across buffers so
+  // the adds stay atomic — but they now live in one tight loop instead of
+  // being interleaved with event handling (the paper's §VI-G workaround).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(deferred_.size());
+       ++t) {
+    auto& buffer = deferred_[static_cast<std::size_t>(t)].value;
+    for (const PendingDeposit& d : buffer) {
+      double& slot = global_[static_cast<std::size_t>(d.cell)];
+#pragma omp atomic update
+      slot += d.amount;
+    }
+    buffer.clear();
+  }
+}
+
+void EnergyTally::merge() {
+  drain_deferred();
+  if (privates_.empty()) return;
+  const auto cells = static_cast<std::int64_t>(global_.size());
+  // Parallel over cells: each thread owns a cell range, reading all private
+  // copies — no synchronisation needed.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < cells; ++c) {
+    double sum = 0.0;
+    for (auto& p : privates_) {
+      sum += p[static_cast<std::size_t>(c)];
+      p[static_cast<std::size_t>(c)] = 0.0;
+    }
+    global_[static_cast<std::size_t>(c)] += sum;
+  }
+}
+
+double EnergyTally::total() const {
+  KahanSum sum;
+  for (double v : global_) sum.add(v);
+  // Include unmerged private contributions so total() is correct even when
+  // called mid-solve.
+  for (const auto& p : privates_) {
+    for (double v : p) sum.add(v);
+  }
+  return sum.value();
+}
+
+void EnergyTally::reset() {
+  std::fill(global_.begin(), global_.end(), 0.0);
+  for (auto& p : privates_) std::fill(p.begin(), p.end(), 0.0);
+  for (auto& d : deferred_) d.value.clear();
+}
+
+std::uint64_t EnergyTally::footprint_bytes() const {
+  std::uint64_t bytes = global_.size() * sizeof(double);
+  for (const auto& p : privates_) bytes += p.size() * sizeof(double);
+  for (const auto& d : deferred_) {
+    bytes += d.value.capacity() * sizeof(PendingDeposit);
+  }
+  return bytes;
+}
+
+}  // namespace neutral

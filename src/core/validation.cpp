@@ -1,0 +1,28 @@
+#include "core/validation.h"
+
+namespace neutral {
+
+namespace {
+/// splitmix64 finaliser: cheap, well-mixed 64-bit hash.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+double positional_checksum(const double* field, std::int64_t n) {
+  KahanSum sum;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Map the hash to a weight in [0.5, 1.5): never zero, so every cell
+    // contributes; position-dependent, so swaps change the sum.
+    const double w =
+        0.5 + static_cast<double>(mix(static_cast<std::uint64_t>(i)) >> 11) *
+                  0x1.0p-53;
+    sum.add(field[i] * w);
+  }
+  return sum.value();
+}
+
+}  // namespace neutral

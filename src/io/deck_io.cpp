@@ -1,0 +1,199 @@
+#include "io/deck_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+[[noreturn]] void deck_error(int line, const std::string& msg) {
+  throw Error("deck parse error at line " + std::to_string(line) + ": " + msg);
+}
+
+double parse_number(const std::string& token, int line) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    deck_error(line, "expected a number, got '" + token + "'");
+  }
+  return v;
+}
+
+std::int64_t parse_int(const std::string& token, int line) {
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    deck_error(line, "expected an integer, got '" + token + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+ProblemDeck parse_deck(const std::string& text) {
+  ProblemDeck deck;
+  deck.name = "custom";
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool have_mesh = false;
+  bool have_particles = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank line
+
+    std::vector<std::string> args;
+    std::string tok;
+    while (ls >> tok) args.push_back(tok);
+    auto need = [&](std::size_t n) {
+      if (args.size() != n) {
+        deck_error(line_no, "key '" + key + "' expects " + std::to_string(n) +
+                                " argument(s), got " +
+                                std::to_string(args.size()));
+      }
+    };
+
+    if (key == "name") {
+      need(1);
+      deck.name = args[0];
+    } else if (key == "nx") {
+      need(1);
+      deck.nx = static_cast<std::int32_t>(parse_int(args[0], line_no));
+      have_mesh = true;
+    } else if (key == "ny") {
+      need(1);
+      deck.ny = static_cast<std::int32_t>(parse_int(args[0], line_no));
+      have_mesh = true;
+    } else if (key == "width") {
+      need(1);
+      deck.width_cm = parse_number(args[0], line_no);
+    } else if (key == "height") {
+      need(1);
+      deck.height_cm = parse_number(args[0], line_no);
+    } else if (key == "density") {
+      need(1);
+      deck.base_density_kg_m3 = parse_number(args[0], line_no);
+    } else if (key == "region") {
+      need(5);
+      RegionSpec r;
+      r.x0 = parse_number(args[0], line_no);
+      r.y0 = parse_number(args[1], line_no);
+      r.x1 = parse_number(args[2], line_no);
+      r.y1 = parse_number(args[3], line_no);
+      r.density_kg_m3 = parse_number(args[4], line_no);
+      if (r.x1 < r.x0 || r.y1 < r.y0) {
+        deck_error(line_no, "region rectangle is inverted");
+      }
+      deck.regions.push_back(r);
+    } else if (key == "source") {
+      need(4);
+      deck.src_x0 = parse_number(args[0], line_no);
+      deck.src_y0 = parse_number(args[1], line_no);
+      deck.src_x1 = parse_number(args[2], line_no);
+      deck.src_y1 = parse_number(args[3], line_no);
+      if (deck.src_x1 < deck.src_x0 || deck.src_y1 < deck.src_y0) {
+        deck_error(line_no, "source rectangle is inverted");
+      }
+    } else if (key == "energy") {
+      need(1);
+      deck.initial_energy_ev = parse_number(args[0], line_no);
+    } else if (key == "particles") {
+      need(1);
+      deck.n_particles = parse_int(args[0], line_no);
+      have_particles = true;
+    } else if (key == "dt") {
+      need(1);
+      deck.dt_s = parse_number(args[0], line_no);
+    } else if (key == "timesteps") {
+      need(1);
+      deck.n_timesteps = static_cast<std::int32_t>(parse_int(args[0], line_no));
+    } else if (key == "seed") {
+      need(1);
+      deck.seed = static_cast<std::uint64_t>(parse_int(args[0], line_no));
+    } else if (key == "molar_mass") {
+      need(1);
+      deck.molar_mass_g_mol = parse_number(args[0], line_no);
+    } else if (key == "mass_number") {
+      need(1);
+      deck.mass_number = parse_number(args[0], line_no);
+    } else if (key == "min_energy") {
+      need(1);
+      deck.min_energy_ev = parse_number(args[0], line_no);
+    } else if (key == "min_weight") {
+      need(1);
+      deck.min_weight = parse_number(args[0], line_no);
+    } else if (key == "roulette") {
+      need(1);
+      deck.roulette_survival = parse_number(args[0], line_no);
+      if (deck.roulette_survival < 0.0 || deck.roulette_survival >= 1.0) {
+        deck_error(line_no, "roulette survival must be in [0, 1)");
+      }
+    } else if (key == "xs_points") {
+      need(1);
+      deck.xs.points = static_cast<std::int32_t>(parse_int(args[0], line_no));
+    } else {
+      deck_error(line_no, "unknown key '" + key + "'");
+    }
+  }
+
+  if (!have_mesh) throw Error("deck must define nx/ny");
+  if (!have_particles) throw Error("deck must define particles");
+  NEUTRAL_REQUIRE(deck.nx >= 1 && deck.ny >= 1, "mesh must be non-empty");
+  NEUTRAL_REQUIRE(deck.n_particles >= 1, "particle count must be positive");
+  NEUTRAL_REQUIRE(deck.dt_s > 0.0, "dt must be positive");
+  NEUTRAL_REQUIRE(deck.n_timesteps >= 1, "timesteps must be positive");
+  return deck;
+}
+
+ProblemDeck load_deck(const std::string& path) {
+  std::ifstream in(path);
+  NEUTRAL_REQUIRE(in.good(), "cannot open deck file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_deck(text.str());
+}
+
+std::string format_deck(const ProblemDeck& deck) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "# neutral-mc problem deck\n";
+  out << "name " << deck.name << '\n';
+  out << "nx " << deck.nx << "\nny " << deck.ny << '\n';
+  out << "width " << deck.width_cm << "\nheight " << deck.height_cm << '\n';
+  out << "density " << deck.base_density_kg_m3 << '\n';
+  for (const RegionSpec& r : deck.regions) {
+    out << "region " << r.x0 << ' ' << r.y0 << ' ' << r.x1 << ' ' << r.y1
+        << ' ' << r.density_kg_m3 << '\n';
+  }
+  out << "source " << deck.src_x0 << ' ' << deck.src_y0 << ' ' << deck.src_x1
+      << ' ' << deck.src_y1 << '\n';
+  out << "energy " << deck.initial_energy_ev << '\n';
+  out << "particles " << deck.n_particles << '\n';
+  out << "dt " << deck.dt_s << '\n';
+  out << "timesteps " << deck.n_timesteps << '\n';
+  out << "seed " << deck.seed << '\n';
+  out << "molar_mass " << deck.molar_mass_g_mol << '\n';
+  out << "mass_number " << deck.mass_number << '\n';
+  out << "min_energy " << deck.min_energy_ev << '\n';
+  out << "min_weight " << deck.min_weight << '\n';
+  if (deck.roulette_survival > 0.0) {
+    out << "roulette " << deck.roulette_survival << '\n';
+  }
+  out << "xs_points " << deck.xs.points << '\n';
+  return out.str();
+}
+
+void save_deck(const ProblemDeck& deck, const std::string& path) {
+  std::ofstream out(path);
+  NEUTRAL_REQUIRE(out.good(), "cannot open deck output " + path);
+  out << format_deck(deck);
+}
+
+}  // namespace neutral

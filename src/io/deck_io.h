@@ -1,0 +1,43 @@
+// Text problem-deck reader/writer.
+//
+// The original mini-app configures problems through `.params` text files;
+// this module provides the same workflow.  Format: one `key value...` pair
+// per line, `#` comments, keys:
+//
+//   name <string>                 problem label
+//   nx/ny <int>                   mesh cells per axis
+//   width/height <cm>             physical extents
+//   density <kg/m^3>              background density
+//   region <x0 y0 x1 y1 kg/m^3>   density override rectangle (repeatable)
+//   source <x0 y0 x1 y1>          particle birth rectangle
+//   energy <eV>                   initial particle energy
+//   particles <int>               bank size
+//   dt <s>                        timestep length
+//   timesteps <int>               number of timesteps
+//   seed <int>                    master RNG seed
+//   molar_mass <g/mol>            dummy-material molar mass
+//   mass_number <A>               scattering-kinematics mass number
+//   min_energy <eV>               energy cutoff
+//   min_weight <w>                weight cutoff
+//   xs_points <int>               cross-section table entries
+#pragma once
+
+#include <string>
+
+#include "core/deck.h"
+
+namespace neutral {
+
+/// Parse deck text; throws neutral::Error with a line number on mistakes.
+ProblemDeck parse_deck(const std::string& text);
+
+/// Load a deck file from disk.
+ProblemDeck load_deck(const std::string& path);
+
+/// Serialise a deck into the text format (round-trips through parse_deck).
+std::string format_deck(const ProblemDeck& deck);
+
+/// Write a deck file to disk.
+void save_deck(const ProblemDeck& deck, const std::string& path);
+
+}  // namespace neutral

@@ -1,0 +1,157 @@
+#include "io/results_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace neutral {
+
+ExpectedResults make_expected(const SimulationConfig& config,
+                              const RunResult& result) {
+  ExpectedResults e;
+  e.problem = config.deck.name;
+  e.particles = config.deck.n_particles;
+  e.timesteps = config.deck.n_timesteps;
+  e.seed = config.deck.seed;
+  e.tally_total = result.budget.tally_total;
+  e.tally_checksum = result.tally_checksum;
+  e.facets = result.counters.facets;
+  e.collisions = result.counters.collisions;
+  e.censuses = result.counters.censuses;
+  return e;
+}
+
+std::string format_results(const ExpectedResults& e) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "# neutral-mc expected results\n";
+  out << "problem " << e.problem << '\n';
+  out << "particles " << e.particles << '\n';
+  out << "timesteps " << e.timesteps << '\n';
+  out << "seed " << e.seed << '\n';
+  out << "tally_total " << e.tally_total << '\n';
+  out << "tally_checksum " << e.tally_checksum << '\n';
+  out << "facets " << e.facets << '\n';
+  out << "collisions " << e.collisions << '\n';
+  out << "censuses " << e.censuses << '\n';
+  return out.str();
+}
+
+ExpectedResults parse_results(const std::string& text) {
+  ExpectedResults e;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool have_tally = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    std::string value;
+    NEUTRAL_REQUIRE(static_cast<bool>(ls >> value),
+                    "results line " + std::to_string(line_no) +
+                        ": key '" + key + "' has no value");
+    try {
+      if (key == "problem") {
+        e.problem = value;
+      } else if (key == "particles") {
+        e.particles = std::stoll(value);
+      } else if (key == "timesteps") {
+        e.timesteps = std::stoi(value);
+      } else if (key == "seed") {
+        e.seed = std::stoull(value);
+      } else if (key == "tally_total") {
+        e.tally_total = std::stod(value);
+        have_tally = true;
+      } else if (key == "tally_checksum") {
+        e.tally_checksum = std::stod(value);
+      } else if (key == "facets") {
+        e.facets = std::stoull(value);
+      } else if (key == "collisions") {
+        e.collisions = std::stoull(value);
+      } else if (key == "censuses") {
+        e.censuses = std::stoull(value);
+      } else {
+        throw Error("results line " + std::to_string(line_no) +
+                    ": unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw Error("results line " + std::to_string(line_no) +
+                  ": malformed value '" + value + "'");
+    }
+  }
+  NEUTRAL_REQUIRE(have_tally, "results file missing tally_total");
+  return e;
+}
+
+void save_results(const ExpectedResults& expected, const std::string& path) {
+  std::ofstream out(path);
+  NEUTRAL_REQUIRE(out.good(), "cannot open results output " + path);
+  out << format_results(expected);
+}
+
+ExpectedResults load_results(const std::string& path) {
+  std::ifstream in(path);
+  NEUTRAL_REQUIRE(in.good(), "cannot open results file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_results(text.str());
+}
+
+namespace {
+
+bool close(double a, double b, double rel) {
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= rel * scale + 1e-300;
+}
+
+}  // namespace
+
+ResultsCheck verify_results(const ExpectedResults& expected,
+                            const SimulationConfig& config,
+                            const RunResult& result, double rel_tol) {
+  ResultsCheck check;
+  std::ostringstream detail;
+  auto mismatch = [&](const std::string& what) {
+    if (detail.tellp() > 0) detail << "; ";
+    detail << what;
+  };
+
+  if (config.deck.name != expected.problem) mismatch("problem name differs");
+  if (config.deck.n_particles != expected.particles) {
+    mismatch("particle count differs");
+  }
+  if (config.deck.n_timesteps != expected.timesteps) {
+    mismatch("timestep count differs");
+  }
+  if (config.deck.seed != expected.seed) mismatch("seed differs");
+  if (result.counters.facets != expected.facets) {
+    mismatch("facet count " + std::to_string(result.counters.facets) +
+             " != " + std::to_string(expected.facets));
+  }
+  if (result.counters.collisions != expected.collisions) {
+    mismatch("collision count " + std::to_string(result.counters.collisions) +
+             " != " + std::to_string(expected.collisions));
+  }
+  if (result.counters.censuses != expected.censuses) {
+    mismatch("census count differs");
+  }
+  if (!close(result.budget.tally_total, expected.tally_total, rel_tol)) {
+    detail.precision(17);
+    mismatch("tally total differs");
+  }
+  if (!close(result.tally_checksum, expected.tally_checksum, rel_tol)) {
+    mismatch("tally checksum differs (deposits moved between cells)");
+  }
+
+  check.detail = detail.str();
+  check.passed = check.detail.empty();
+  return check;
+}
+
+}  // namespace neutral

@@ -1,0 +1,90 @@
+#include "mesh/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "mesh/mesh2d.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+struct Rgb {
+  unsigned char r, g, b;
+};
+
+// Simple "fire" ramp: black -> red -> orange -> yellow -> white.
+Rgb fire(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto lerp = [](double a, double b, double u) { return a + (b - a) * u; };
+  double r, g, b;
+  if (t < 0.33) {
+    const double u = t / 0.33;
+    r = lerp(0, 200, u); g = lerp(0, 30, u); b = lerp(0, 20, u);
+  } else if (t < 0.66) {
+    const double u = (t - 0.33) / 0.33;
+    r = lerp(200, 255, u); g = lerp(30, 165, u); b = lerp(20, 0, u);
+  } else {
+    const double u = (t - 0.66) / 0.34;
+    r = lerp(255, 255, u); g = lerp(165, 255, u); b = lerp(0, 230, u);
+  }
+  return {static_cast<unsigned char>(r), static_cast<unsigned char>(g),
+          static_cast<unsigned char>(b)};
+}
+
+}  // namespace
+
+void write_heatmap_ppm(const std::string& path, const StructuredMesh2D& mesh,
+                       const double* field, std::int32_t max_pixels) {
+  NEUTRAL_REQUIRE(field != nullptr, "field must not be null");
+  NEUTRAL_REQUIRE(max_pixels >= 1, "max_pixels must be positive");
+
+  const std::int32_t nx = mesh.nx();
+  const std::int32_t ny = mesh.ny();
+  const std::int32_t longest = std::max(nx, ny);
+  const std::int32_t bin = std::max<std::int32_t>(1, (longest + max_pixels - 1) / max_pixels);
+  const std::int32_t px = (nx + bin - 1) / bin;
+  const std::int32_t py = (ny + bin - 1) / bin;
+
+  // Box-filter down-sample.
+  std::vector<double> img(static_cast<std::size_t>(px) * py, 0.0);
+  std::vector<std::int32_t> cnt(img.size(), 0);
+  for (std::int32_t j = 0; j < ny; ++j) {
+    for (std::int32_t i = 0; i < nx; ++i) {
+      const auto p = static_cast<std::size_t>(j / bin) * px + i / bin;
+      img[p] += field[static_cast<std::int64_t>(j) * nx + i];
+      ++cnt[p];
+    }
+  }
+  double vmax = 0.0;
+  for (std::size_t p = 0; p < img.size(); ++p) {
+    img[p] /= std::max(1, cnt[p]);
+    vmax = std::max(vmax, img[p]);
+  }
+
+  // Log scale spanning 6 decades below the max, as energy deposition falls
+  // off exponentially away from the source.
+  const double log_max = vmax > 0.0 ? std::log10(vmax) : 0.0;
+  const double log_min = log_max - 6.0;
+
+  std::ofstream out(path, std::ios::binary);
+  NEUTRAL_REQUIRE(out.good(), "cannot open heatmap output " + path);
+  out << "P6\n" << px << ' ' << py << "\n255\n";
+  // PPM rows run top-to-bottom; mesh rows bottom-to-top.
+  for (std::int32_t j = py - 1; j >= 0; --j) {
+    for (std::int32_t i = 0; i < px; ++i) {
+      const double v = img[static_cast<std::size_t>(j) * px + i];
+      Rgb c{0, 0, 0};
+      if (v > 0.0 && vmax > 0.0) {
+        c = fire((std::log10(v) - log_min) / (log_max - log_min));
+      }
+      out.put(static_cast<char>(c.r));
+      out.put(static_cast<char>(c.g));
+      out.put(static_cast<char>(c.b));
+    }
+  }
+}
+
+}  // namespace neutral

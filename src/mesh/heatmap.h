@@ -1,0 +1,21 @@
+// Binary PPM heat-map writer for mesh-shaped scalar fields.
+//
+// Regenerates the paper's Figure 2 (energy-deposition plots of the three
+// test problems) without any plotting dependency.  Values are mapped through
+// log10 onto a perceptually-ordered fire palette.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neutral {
+
+class StructuredMesh2D;
+
+/// Write `field` (row-major, mesh.num_cells() entries) as a PPM image.
+/// `max_pixels` caps the longest image edge; the field is box-down-sampled
+/// when the mesh is larger than that.  Zero/negative cells render black.
+void write_heatmap_ppm(const std::string& path, const StructuredMesh2D& mesh,
+                       const double* field, std::int32_t max_pixels = 1024);
+
+}  // namespace neutral

@@ -1,0 +1,71 @@
+#include "mesh/mesh2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/numeric.h"
+
+namespace neutral {
+
+StructuredMesh2D::StructuredMesh2D(std::int32_t nx, std::int32_t ny,
+                                   double width, double height)
+    : nx_(nx), ny_(ny) {
+  NEUTRAL_REQUIRE(nx >= 1 && ny >= 1, "mesh needs at least one cell per axis");
+  NEUTRAL_REQUIRE(width > 0.0 && height > 0.0, "mesh extents must be positive");
+  edge_x_.resize(static_cast<std::size_t>(nx) + 1);
+  edge_y_.resize(static_cast<std::size_t>(ny) + 1);
+  for (std::int32_t i = 0; i <= nx; ++i) {
+    edge_x_[i] = width * static_cast<double>(i) / nx;
+  }
+  for (std::int32_t j = 0; j <= ny; ++j) {
+    edge_y_[j] = height * static_cast<double>(j) / ny;
+  }
+  uniform_ = true;
+  inv_dx_ = nx / width;
+  inv_dy_ = ny / height;
+}
+
+StructuredMesh2D::StructuredMesh2D(aligned_vector<double> edge_x,
+                                   aligned_vector<double> edge_y)
+    : edge_x_(std::move(edge_x)), edge_y_(std::move(edge_y)) {
+  NEUTRAL_REQUIRE(edge_x_.size() >= 2 && edge_y_.size() >= 2,
+                  "edge arrays need at least two entries");
+  NEUTRAL_REQUIRE(std::is_sorted(edge_x_.begin(), edge_x_.end()) &&
+                      std::adjacent_find(edge_x_.begin(), edge_x_.end()) ==
+                          edge_x_.end(),
+                  "x edges must be strictly increasing");
+  NEUTRAL_REQUIRE(std::is_sorted(edge_y_.begin(), edge_y_.end()) &&
+                      std::adjacent_find(edge_y_.begin(), edge_y_.end()) ==
+                          edge_y_.end(),
+                  "y edges must be strictly increasing");
+  nx_ = static_cast<std::int32_t>(edge_x_.size()) - 1;
+  ny_ = static_cast<std::int32_t>(edge_y_.size()) - 1;
+  uniform_ = false;
+}
+
+std::int32_t StructuredMesh2D::locate_1d(const aligned_vector<double>& edges,
+                                         double v) const {
+  // upper_bound yields the first edge strictly greater than v; the cell is
+  // one to the left.  Clamp so points exactly on the top edge belong to the
+  // last cell.
+  const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+  auto idx = static_cast<std::int64_t>(std::distance(edges.begin(), it)) - 1;
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(edges.size()) - 2);
+  return static_cast<std::int32_t>(idx);
+}
+
+CellIndex StructuredMesh2D::locate(double x, double y) const {
+  const double cx = clamp(x, x_min(), x_max());
+  const double cy = clamp(y, y_min(), y_max());
+  if (uniform_) {
+    auto ix = static_cast<std::int32_t>((cx - x_min()) * inv_dx_);
+    auto iy = static_cast<std::int32_t>((cy - y_min()) * inv_dy_);
+    ix = std::clamp(ix, 0, nx_ - 1);
+    iy = std::clamp(iy, 0, ny_ - 1);
+    return {ix, iy};
+  }
+  return {locate_1d(edge_x_, cx), locate_1d(edge_y_, cy)};
+}
+
+}  // namespace neutral

@@ -1,0 +1,91 @@
+// 2D structured computational mesh (paper §IV-B/C).
+//
+// neutral deliberately uses a structured Cartesian grid so that facet
+// intersection reduces to two axis-aligned distance computations, exposing
+// the *memory system* issues (random access to cell-centred data) rather
+// than geometry cost.  Edge coordinate arrays are stored explicitly — the
+// same representation the mini-app uses — so a future non-uniform grid
+// changes no kernel code.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace neutral {
+
+/// Cell index pair.  Kept as two ints (not a flattened index) because the
+/// transport kernels update x and y independently on facet crossings.
+struct CellIndex {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const CellIndex&, const CellIndex&) = default;
+};
+
+class StructuredMesh2D {
+ public:
+  /// Uniform mesh covering [0,width] x [0,height] with nx x ny cells.
+  StructuredMesh2D(std::int32_t nx, std::int32_t ny, double width,
+                   double height);
+
+  /// Fully general constructor from explicit edge coordinate arrays
+  /// (strictly increasing; sizes nx+1 and ny+1).
+  StructuredMesh2D(aligned_vector<double> edge_x, aligned_vector<double> edge_y);
+
+  [[nodiscard]] std::int32_t nx() const { return nx_; }
+  [[nodiscard]] std::int32_t ny() const { return ny_; }
+  [[nodiscard]] std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(nx_) * ny_;
+  }
+
+  [[nodiscard]] double width() const { return edge_x_.back() - edge_x_.front(); }
+  [[nodiscard]] double height() const { return edge_y_.back() - edge_y_.front(); }
+  [[nodiscard]] double x_min() const { return edge_x_.front(); }
+  [[nodiscard]] double x_max() const { return edge_x_.back(); }
+  [[nodiscard]] double y_min() const { return edge_y_.front(); }
+  [[nodiscard]] double y_max() const { return edge_y_.back(); }
+
+  /// Edge coordinates; index i gives the left/bottom face of cell i.
+  [[nodiscard]] double edge_x(std::int32_t i) const { return edge_x_[i]; }
+  [[nodiscard]] double edge_y(std::int32_t j) const { return edge_y_[j]; }
+
+  [[nodiscard]] double cell_dx(std::int32_t i) const {
+    return edge_x_[i + 1] - edge_x_[i];
+  }
+  [[nodiscard]] double cell_dy(std::int32_t j) const {
+    return edge_y_[j + 1] - edge_y_[j];
+  }
+
+  /// Flattened row-major cell index (used by density and tally fields).
+  [[nodiscard]] std::int64_t flat_index(CellIndex c) const {
+    return static_cast<std::int64_t>(c.y) * nx_ + c.x;
+  }
+
+  /// Locate the cell containing (x, y); coordinates are clamped into the
+  /// domain first (particles sit exactly on edges during facet handling).
+  [[nodiscard]] CellIndex locate(double x, double y) const;
+
+  [[nodiscard]] bool uniform() const { return uniform_; }
+
+  /// Cell centre coordinates — used by the source sampler and plots.
+  [[nodiscard]] double centre_x(std::int32_t i) const {
+    return 0.5 * (edge_x_[i] + edge_x_[i + 1]);
+  }
+  [[nodiscard]] double centre_y(std::int32_t j) const {
+    return 0.5 * (edge_y_[j] + edge_y_[j + 1]);
+  }
+
+ private:
+  [[nodiscard]] std::int32_t locate_1d(const aligned_vector<double>& edges,
+                                       double v) const;
+
+  std::int32_t nx_ = 0;
+  std::int32_t ny_ = 0;
+  aligned_vector<double> edge_x_;
+  aligned_vector<double> edge_y_;
+  bool uniform_ = false;
+  double inv_dx_ = 0.0;  // fast-path locate for uniform meshes
+  double inv_dy_ = 0.0;
+};
+
+}  // namespace neutral

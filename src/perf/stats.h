@@ -1,0 +1,43 @@
+// Summary statistics for repeated benchmark measurements.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace neutral {
+
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t n = 0;
+};
+
+inline SampleStats summarize(std::vector<double> xs) {
+  NEUTRAL_REQUIRE(!xs.empty(), "cannot summarise an empty sample");
+  SampleStats s;
+  s.n = xs.size();
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = s.n / 2;
+  s.median = (s.n % 2 != 0) ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+  return s;
+}
+
+}  // namespace neutral

@@ -1,0 +1,58 @@
+// `flow` comparison proxy: explicit compressible hydrodynamics.
+//
+// The paper contrasts neutral's scaling against the arch-suite `flow`
+// mini-app, a "highly optimised hydrodynamics application" whose parallel
+// efficiency is limited by memory bandwidth (§VI-B, Fig 3) and which gains
+// nothing from hyperthreading (§VI-E).  This proxy reproduces that
+// performance profile with a 2D Lax–Friedrichs solver for the Euler
+// equations: per cell-update work is a handful of FLOPs against four
+// streamed conserved-variable fields — a textbook bandwidth-bound stencil.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace neutral {
+
+struct FlowConfig {
+  std::int32_t nx = 512;
+  std::int32_t ny = 512;
+  double gamma = 1.4;   ///< ideal-gas ratio of specific heats
+  double cfl = 0.4;
+};
+
+/// 2D Euler solver on a periodic domain, Lax–Friedrichs fluxes.
+class FlowSolver {
+ public:
+  explicit FlowSolver(FlowConfig cfg);
+
+  /// Initialise a Gaussian density/pressure pulse at the domain centre.
+  void initialise_pulse();
+
+  /// Advance `steps` timesteps; returns wall seconds of the solve loop.
+  double run(std::int32_t steps);
+
+  /// Total mass — conserved exactly by the scheme (up to FP reassociation).
+  [[nodiscard]] double total_mass() const;
+  /// Total energy — also conserved on the periodic domain.
+  [[nodiscard]] double total_energy() const;
+
+  [[nodiscard]] const FlowConfig& config() const { return cfg_; }
+  [[nodiscard]] std::int64_t cells() const {
+    return static_cast<std::int64_t>(cfg_.nx) * cfg_.ny;
+  }
+  /// Bytes streamed per timestep (for achieved-bandwidth estimates).
+  [[nodiscard]] double bytes_per_step() const;
+
+ private:
+  void timestep(double dt);
+  [[nodiscard]] double stable_dt() const;
+
+  FlowConfig cfg_;
+  // Conserved variables: density, x/y momentum, total energy (+ scratch).
+  aligned_vector<double> rho_, mx_, my_, e_;
+  aligned_vector<double> rho_n_, mx_n_, my_n_, e_n_;
+};
+
+}  // namespace neutral

@@ -1,0 +1,126 @@
+#include "proxies/hot.h"
+
+#include <cmath>
+
+#include "runtime/timer.h"
+#include "util/error.h"
+
+namespace neutral {
+
+HotSolver::HotSolver(HotConfig cfg) : cfg_(cfg) {
+  NEUTRAL_REQUIRE(cfg_.nx >= 3 && cfg_.ny >= 3, "hot mesh too small");
+  NEUTRAL_REQUIRE(cfg_.conductivity > 0.0, "conductivity must be positive");
+  const auto n = static_cast<std::size_t>(cells());
+  b_.assign(n, 0.0);
+  x_.assign(n, 0.0);
+  r_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  ap_.assign(n, 0.0);
+}
+
+void HotSolver::initialise_hot_square() {
+  const std::int32_t x0 = cfg_.nx / 3, x1 = 2 * cfg_.nx / 3;
+  const std::int32_t y0 = cfg_.ny / 3, y1 = 2 * cfg_.ny / 3;
+#pragma omp parallel for schedule(static)
+  for (std::int32_t j = 0; j < cfg_.ny; ++j) {
+    for (std::int32_t i = 0; i < cfg_.nx; ++i) {
+      const bool hot = i >= x0 && i < x1 && j >= y0 && j < y1;
+      b_[static_cast<std::size_t>(j) * cfg_.nx + i] = hot ? 100.0 : 1.0;
+    }
+  }
+}
+
+void HotSolver::set_rhs(const aligned_vector<double>& b) {
+  NEUTRAL_REQUIRE(static_cast<std::int64_t>(b.size()) == cells(),
+                  "rhs size must match the mesh");
+  b_ = b;
+}
+
+void HotSolver::apply_operator(const aligned_vector<double>& x,
+                               aligned_vector<double>& y) const {
+  const std::int32_t nx = cfg_.nx;
+  const std::int32_t ny = cfg_.ny;
+  const double k = cfg_.conductivity;
+#pragma omp parallel for schedule(static)
+  for (std::int32_t j = 0; j < ny; ++j) {
+    for (std::int32_t i = 0; i < nx; ++i) {
+      const auto c = static_cast<std::size_t>(j) * nx + i;
+      // Zero-flux (Neumann) boundaries: mirror the missing neighbour.
+      const double xc = x[c];
+      const double xl = i > 0 ? x[c - 1] : xc;
+      const double xr = i < nx - 1 ? x[c + 1] : xc;
+      const double yd = j > 0 ? x[c - nx] : xc;
+      const double yu = j < ny - 1 ? x[c + nx] : xc;
+      y[c] = xc - k * (xl + xr + yd + yu - 4.0 * xc);
+    }
+  }
+}
+
+namespace {
+
+double dot(const aligned_vector<double>& a, const aligned_vector<double>& b) {
+  double sum = 0.0;
+  const auto n = static_cast<std::int64_t>(a.size());
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+void axpy(double alpha, const aligned_vector<double>& x,
+          aligned_vector<double>& y) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void xpay(const aligned_vector<double>& x, double beta,
+          aligned_vector<double>& y) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+HotResult HotSolver::solve() {
+  HotResult result;
+  WallTimer timer;
+
+  std::fill(x_.begin(), x_.end(), 0.0);
+  r_ = b_;  // r = b - A*0
+  p_ = r_;
+  double rr = dot(r_, r_);
+  const double b_norm = std::sqrt(dot(b_, b_));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  for (std::int32_t it = 0; it < cfg_.max_iterations; ++it) {
+    apply_operator(p_, ap_);
+    const double alpha = rr / dot(p_, ap_);
+    axpy(alpha, p_, x_);
+    axpy(-alpha, ap_, r_);
+    const double rr_new = dot(r_, r_);
+    result.iterations = it + 1;
+    result.relative_residual = std::sqrt(rr_new) / b_norm;
+    if (result.relative_residual < cfg_.tolerance) {
+      result.converged = true;
+      break;
+    }
+    xpay(r_, rr_new / rr, p_);
+    rr = rr_new;
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace neutral

@@ -1,0 +1,59 @@
+// `hot` comparison proxy: conjugate-gradient heat conduction.
+//
+// The arch-suite `hot` mini-app is "a conjugate gradient based heat
+// conduction linear solver" (§VI-B).  Each CG iteration is one 5-point
+// stencil apply, two dot products and three axpy sweeps over mesh-sized
+// vectors: memory-bandwidth bound with a couple of reductions per
+// iteration, giving the second scaling-contrast point in Fig 3.
+#pragma once
+
+#include <cstdint>
+
+#include "util/aligned.h"
+
+namespace neutral {
+
+struct HotConfig {
+  std::int32_t nx = 512;
+  std::int32_t ny = 512;
+  double conductivity = 0.1;  ///< kappa * dt / dx^2 (implicit step weight)
+  double tolerance = 1.0e-10; ///< relative residual target
+  std::int32_t max_iterations = 5000;
+};
+
+struct HotResult {
+  std::int32_t iterations = 0;
+  double relative_residual = 0.0;
+  double seconds = 0.0;
+  bool converged = false;
+};
+
+/// Solve one backward-Euler heat-conduction step (I - k Lap) x = b with CG.
+class HotSolver {
+ public:
+  explicit HotSolver(HotConfig cfg);
+
+  /// Set b to a hot square in the domain centre on a cold background.
+  void initialise_hot_square();
+
+  /// Arbitrary right-hand side (used by the manufactured-solution tests).
+  void set_rhs(const aligned_vector<double>& b);
+
+  /// Run CG from x=0; returns convergence info.
+  HotResult solve();
+
+  [[nodiscard]] const aligned_vector<double>& solution() const { return x_; }
+  [[nodiscard]] std::int64_t cells() const {
+    return static_cast<std::int64_t>(cfg_.nx) * cfg_.ny;
+  }
+
+  /// y = (I - k Lap) x with zero-Neumann boundaries (exposed for tests).
+  void apply_operator(const aligned_vector<double>& x,
+                      aligned_vector<double>& y) const;
+
+ private:
+  HotConfig cfg_;
+  aligned_vector<double> b_, x_, r_, p_, ap_;
+};
+
+}  // namespace neutral

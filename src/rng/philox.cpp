@@ -1,0 +1,66 @@
+#include "rng/philox.h"
+
+#include "util/error.h"
+
+namespace neutral::rng {
+namespace {
+
+// Multipliers and Weyl-sequence key increments from Salmon et al. §5.3.
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+struct HiLo {
+  std::uint32_t hi;
+  std::uint32_t lo;
+};
+
+constexpr HiLo mulhilo(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+  return {static_cast<std::uint32_t>(p >> 32), static_cast<std::uint32_t>(p)};
+}
+
+constexpr u32x4 round_once(const u32x4& x, const u32x2& k) {
+  const HiLo p0 = mulhilo(kMul0, x[0]);
+  const HiLo p1 = mulhilo(kMul1, x[2]);
+  return {p1.hi ^ x[1] ^ k[0], p1.lo, p0.hi ^ x[3] ^ k[1], p0.lo};
+}
+
+constexpr u32x2 bump_key(const u32x2& k) {
+  return {k[0] + kWeyl0, k[1] + kWeyl1};
+}
+
+}  // namespace
+
+u32x4 philox4x32_reference(const u32x4& counter, const u32x2& key,
+                           int rounds) {
+  NEUTRAL_REQUIRE(rounds >= 0 && rounds <= 16,
+                  "philox4x32 supports 0..16 rounds");
+  u32x4 x = counter;
+  u32x2 k = key;
+  for (int r = 0; r < rounds; ++r) {
+    x = round_once(x, k);
+    k = bump_key(k);
+  }
+  return x;
+}
+
+u32x4 philox4x32(const u32x4& counter, const u32x2& key) {
+  u32x4 x = counter;
+  u32x2 k = key;
+  // 10 rounds, fully unrolled.
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k); k = bump_key(k);
+  x = round_once(x, k);
+  return x;
+}
+
+}  // namespace neutral::rng

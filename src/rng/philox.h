@@ -1,0 +1,27 @@
+// Philox4x32-10 counter-based random number generator.
+//
+// Second member of the Random123 suite (Salmon et al., SC'11), included so
+// the RNG micro-benchmark can compare the multiplication-based Philox
+// against the ARX-based Threefry — the suite-selection question §IV-F of
+// the paper raises for diverse architectures (Philox maps well onto GPUs
+// with fast 32-bit multipliers, Threefry onto CPUs with fast rotates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace neutral::rng {
+
+using u32x4 = std::array<std::uint32_t, 4>;
+using u32x2 = std::array<std::uint32_t, 2>;
+
+inline constexpr int kPhiloxRounds = 10;
+
+/// Production Philox4x32-10: 4x32-bit counter, 2x32-bit key.
+u32x4 philox4x32(const u32x4& counter, const u32x2& key);
+
+/// Loop-form reference used by the cross-validation tests.
+u32x4 philox4x32_reference(const u32x4& counter, const u32x2& key,
+                           int rounds = kPhiloxRounds);
+
+}  // namespace neutral::rng

@@ -1,0 +1,37 @@
+#include "runtime/host_info.h"
+
+#include <omp.h>
+
+#include <fstream>
+#include <thread>
+
+namespace neutral {
+
+HostInfo probe_host() {
+  HostInfo info;
+  const unsigned hc = std::thread::hardware_concurrency();
+  info.logical_cpus = hc > 0 ? static_cast<std::int32_t>(hc) : 1;
+  info.openmp_max_threads = omp_get_max_threads();
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos && colon + 2 <= line.size()) {
+        info.cpu_model = line.substr(colon + 2);
+      }
+      break;
+    }
+  }
+  return info;
+}
+
+std::string host_banner() {
+  const HostInfo info = probe_host();
+  return "host: " + info.cpu_model + " (" +
+         std::to_string(info.logical_cpus) + " logical cpus, omp max " +
+         std::to_string(info.openmp_max_threads) + ")";
+}
+
+}  // namespace neutral

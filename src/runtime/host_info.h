@@ -1,0 +1,21 @@
+// Host hardware probe used by the benchmark harness headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neutral {
+
+struct HostInfo {
+  std::int32_t logical_cpus = 1;       ///< std::thread::hardware_concurrency
+  std::int32_t openmp_max_threads = 1; ///< omp_get_max_threads at startup
+  std::string cpu_model = "unknown";   ///< /proc/cpuinfo "model name"
+};
+
+/// Probe the host; never fails (falls back to defaults).
+HostInfo probe_host();
+
+/// One-line banner for benchmark headers.
+std::string host_banner();
+
+}  // namespace neutral

@@ -1,0 +1,48 @@
+#include "runtime/schedule.h"
+
+#include <omp.h>
+
+#include "util/error.h"
+
+namespace neutral {
+
+std::string SchedulePolicy::name() const {
+  switch (kind) {
+    case ScheduleKind::kStatic: return "static";
+    case ScheduleKind::kStaticChunk:
+      return "static," + std::to_string(chunk);
+    case ScheduleKind::kDynamic:
+      return chunk > 0 ? "dynamic," + std::to_string(chunk) : "dynamic";
+    case ScheduleKind::kGuided:
+      return chunk > 0 ? "guided," + std::to_string(chunk) : "guided";
+  }
+  return "?";
+}
+
+void apply_schedule(const SchedulePolicy& policy) {
+  NEUTRAL_REQUIRE(policy.chunk >= 0, "chunk size must be non-negative");
+  switch (policy.kind) {
+    case ScheduleKind::kStatic:
+      omp_set_schedule(omp_sched_static, 0);
+      break;
+    case ScheduleKind::kStaticChunk:
+      NEUTRAL_REQUIRE(policy.chunk > 0, "static,chunk needs a chunk size");
+      omp_set_schedule(omp_sched_static, policy.chunk);
+      break;
+    case ScheduleKind::kDynamic:
+      omp_set_schedule(omp_sched_dynamic, policy.chunk);
+      break;
+    case ScheduleKind::kGuided:
+      omp_set_schedule(omp_sched_guided, policy.chunk);
+      break;
+  }
+}
+
+void set_thread_count(std::int32_t threads) {
+  NEUTRAL_REQUIRE(threads >= 1, "thread count must be at least 1");
+  omp_set_num_threads(threads);
+}
+
+std::int32_t thread_count() { return omp_get_max_threads(); }
+
+}  // namespace neutral

@@ -1,0 +1,50 @@
+// OpenMP loop-scheduling policy control (paper §VI-C, Fig 4).
+//
+// The paper sweeps the `schedule` clause on the Over Particles loop to probe
+// load imbalance from uneven history lengths.  We express the policy as a
+// value, set it through omp_set_schedule, and compile the hot loops with
+// schedule(runtime) so one binary can run the whole sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace neutral {
+
+enum class ScheduleKind : std::uint8_t {
+  kStatic = 0,       ///< contiguous blocks, zero runtime cost
+  kStaticChunk = 1,  ///< round-robin chunks of fixed size
+  kDynamic = 2,      ///< work-stealing chunks
+  kGuided = 3,       ///< exponentially shrinking chunks
+};
+
+struct SchedulePolicy {
+  ScheduleKind kind = ScheduleKind::kStatic;
+  /// Chunk size; 0 lets the OpenMP runtime choose its default.
+  std::int32_t chunk = 0;
+
+  [[nodiscard]] std::string name() const;
+
+  static SchedulePolicy statics() { return {ScheduleKind::kStatic, 0}; }
+  static SchedulePolicy static_chunk(std::int32_t c) {
+    return {ScheduleKind::kStaticChunk, c};
+  }
+  static SchedulePolicy dynamic(std::int32_t c = 0) {
+    return {ScheduleKind::kDynamic, c};
+  }
+  static SchedulePolicy guided(std::int32_t c = 0) {
+    return {ScheduleKind::kGuided, c};
+  }
+};
+
+/// Install `policy` as the schedule used by `schedule(runtime)` loops on the
+/// calling thread's OpenMP runtime.
+void apply_schedule(const SchedulePolicy& policy);
+
+/// Set the global OpenMP thread count for subsequent parallel regions.
+void set_thread_count(std::int32_t threads);
+
+/// Current max-threads setting.
+std::int32_t thread_count();
+
+}  // namespace neutral

@@ -1,0 +1,46 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace neutral {
+
+/// Monotonic wall timer; seconds as double.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1.0e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Time a callable once and return elapsed seconds.
+template <class F>
+double time_once(F&& fn) {
+  WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+/// Run `fn` `reps` times and return the *best* wall time — the standard
+/// noise-rejection policy for benchmark loops on shared machines.
+template <class F>
+double time_best_of(int reps, F&& fn) {
+  double best = 1.0e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t = time_once(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace neutral

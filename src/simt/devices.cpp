@@ -1,0 +1,143 @@
+#include "simt/device.h"
+
+#include <algorithm>
+#include <array>
+
+namespace neutral::simt {
+
+std::int32_t DeviceModel::occupancy(std::int32_t regs_per_thread) const {
+  if (registers_per_unit <= 0 || regs_per_thread <= 0) return max_contexts;
+  // A resident context (warp) holds simt_lanes threads' registers.
+  const std::int64_t regs_per_context =
+      static_cast<std::int64_t>(regs_per_thread) * std::max(1, simt_lanes);
+  const auto fit = static_cast<std::int32_t>(registers_per_unit /
+                                             std::max<std::int64_t>(1, regs_per_context));
+  return std::clamp(fit, 1, max_contexts);
+}
+
+DeviceModel broadwell_2699v4_dual() {
+  DeviceModel d;
+  d.name = "2x Broadwell E5-2699v4";
+  d.compute_units = 44;   // 22 cores x 2 sockets
+  d.max_contexts = 2;     // HyperThreading
+  d.simt_lanes = 1;
+  d.simd_lanes = 4;       // AVX2 x FP64
+  d.simd_efficiency = 0.4;
+  d.clock_ghz = 2.6;      // all-core turbo
+  d.issue_per_cycle = 2.0;
+  d.memory.dram_latency_ns = 95.0;
+  d.memory.dram_bandwidth_gbps = 130.0;  // 2 sockets DDR4-2400
+  d.memory.cache_latency_ns = 18.0;
+  d.memory.cache_bytes = 110ll << 20;    // 2 x 55 MB LLC
+  d.memory.line_bytes = 64;
+  d.atomic_ns = 10.0;
+  d.native_fp64_atomics = true;  // lock add / cached RMW
+  return d;
+}
+
+DeviceModel knl_7210_ddr() {
+  DeviceModel d;
+  d.name = "KNL 7210 (DDR)";
+  d.compute_units = 64;
+  d.max_contexts = 4;     // 4-way SMT
+  d.simt_lanes = 1;
+  d.simd_lanes = 8;       // AVX-512 x FP64
+  d.simd_efficiency = 0.4;
+  d.clock_ghz = 1.3;
+  // Silvermont-derived cores: 2-wide decode but ~1 sustained op/cycle on
+  // dependent branchy scalar code — the §VIII observation that the KNL
+  // disappoints on this algorithm.
+  d.issue_per_cycle = 1.0;
+  d.memory.dram_latency_ns = 130.0;
+  d.memory.dram_bandwidth_gbps = 90.0;
+  d.memory.cache_latency_ns = 20.0;
+  d.memory.cache_bytes = 32ll << 20;  // distributed L2 (no LLC)
+  d.memory.line_bytes = 64;
+  d.atomic_ns = 18.0;     // mesh-interconnect RMW
+  d.native_fp64_atomics = true;
+  return d;
+}
+
+DeviceModel knl_7210_mcdram() {
+  DeviceModel d = knl_7210_ddr();
+  d.name = "KNL 7210 (MCDRAM)";
+  // MCDRAM: far higher bandwidth, slightly *higher* latency than DDR — the
+  // §VII-B observation that latency-bound work can prefer DDR.
+  d.memory.dram_latency_ns = 155.0;
+  d.memory.dram_bandwidth_gbps = 420.0;
+  return d;
+}
+
+DeviceModel power8_dual10() {
+  DeviceModel d;
+  d.name = "2x POWER8 10c";
+  d.compute_units = 20;
+  d.max_contexts = 8;     // SMT8
+  d.simt_lanes = 1;
+  d.simd_lanes = 2;       // VSX x FP64
+  d.simd_efficiency = 0.5;
+  d.clock_ghz = 3.5;
+  d.issue_per_cycle = 2.0;
+  d.memory.dram_latency_ns = 110.0;  // via Centaur buffers
+  d.memory.dram_bandwidth_gbps = 230.0;  // 8 channels/socket
+  d.memory.cache_latency_ns = 25.0;
+  d.memory.cache_bytes = 160ll << 20;  // 8 MB eDRAM L3 per core
+  d.memory.line_bytes = 128;
+  d.atomic_ns = 16.0;     // larx/stcx pair
+  d.native_fp64_atomics = false;  // LL/SC retry loop
+  return d;
+}
+
+DeviceModel k20x() {
+  DeviceModel d;
+  d.name = "NVIDIA K20X";
+  d.compute_units = 14;   // SMX count
+  d.max_contexts = 64;    // resident warps per SMX
+  d.simt_lanes = 32;
+  d.simd_lanes = 32;
+  d.clock_ghz = 0.732;
+  d.issue_per_cycle = 4.0;  // per-SMX scheduler slots (per warp-lane group)
+  d.memory.dram_latency_ns = 440.0;
+  d.memory.dram_bandwidth_gbps = 180.0;  // achievable (250 peak)
+  d.memory.cache_latency_ns = 80.0;
+  d.memory.cache_bytes = 1536ll << 10;   // 1.5 MB L2
+  d.memory.line_bytes = 128;
+  d.atomic_ns = 30.0;
+  d.native_fp64_atomics = false;  // FP64 atomicAdd emulated via CAS (§VIII-A)
+  d.kernel_launch_ns = 5000.0;    // CUDA launch + device sync
+  d.registers_per_unit = 65536;
+  d.default_regs_per_thread = 102;  // what the compiler allocated (§VI-H)
+  return d;
+}
+
+DeviceModel p100() {
+  DeviceModel d;
+  d.name = "NVIDIA P100";
+  d.compute_units = 56;   // SM count
+  d.max_contexts = 64;
+  d.simt_lanes = 32;
+  d.simd_lanes = 32;
+  d.clock_ghz = 1.328;
+  d.issue_per_cycle = 2.0;  // smaller SMs than Kepler SMX
+  d.memory.dram_latency_ns = 380.0;
+  d.memory.dram_bandwidth_gbps = 510.0;  // achievable (732 peak HBM2)
+  d.memory.cache_latency_ns = 70.0;
+  d.memory.cache_bytes = 4096ll << 10;   // 4 MB L2
+  d.memory.line_bytes = 128;
+  d.atomic_ns = 16.0;
+  d.native_fp64_atomics = true;  // hardware FP64 atomicAdd (§VIII-A)
+  d.kernel_launch_ns = 4000.0;
+  d.registers_per_unit = 65536;
+  d.default_regs_per_thread = 79;  // CUDA arch 6.0 allocation (§VII-E)
+  return d;
+}
+
+const DeviceModel* all_devices(std::int32_t* count) {
+  static const std::array<DeviceModel, 6> devices = {
+      broadwell_2699v4_dual(), knl_7210_ddr(), knl_7210_mcdram(),
+      power8_dual10(),         k20x(),         p100()};
+  *count = static_cast<std::int32_t>(devices.size());
+  return devices.data();
+}
+
+}  // namespace neutral::simt

@@ -1,0 +1,102 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace neutral {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  NEUTRAL_REQUIRE(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  used_.assign(args_.size(), false);
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i] == "--help" || args_[i] == "-h") {
+      help_requested_ = true;
+      used_[i] = true;
+    }
+  }
+}
+
+std::optional<std::string> CliParser::take(const std::string& name,
+                                           bool wants_value) {
+  const std::string key = "--" + name;
+  const std::string key_eq = key + "=";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (used_[i]) continue;
+    if (args_[i] == key) {
+      used_[i] = true;
+      if (!wants_value) return std::string{};
+      NEUTRAL_REQUIRE(i + 1 < args_.size() && !used_[i + 1],
+                      "option " + key + " expects a value");
+      used_[i + 1] = true;
+      return args_[i + 1];
+    }
+    if (args_[i].rfind(key_eq, 0) == 0) {
+      used_[i] = true;
+      NEUTRAL_REQUIRE(wants_value, "flag " + key + " does not take a value");
+      return args_[i].substr(key_eq.size());
+    }
+  }
+  return std::nullopt;
+}
+
+void CliParser::note_help(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  std::string line = "  --" + name;
+  if (!def.empty()) line += " (default: " + def + ")";
+  line += "\n      " + help;
+  help_lines_.push_back(line);
+}
+
+bool CliParser::flag(const std::string& name, const std::string& help) {
+  note_help(name, "", help);
+  return take(name, /*wants_value=*/false).has_value();
+}
+
+std::string CliParser::option(const std::string& name, const std::string& def,
+                              const std::string& help) {
+  note_help(name, def, help);
+  auto v = take(name, /*wants_value=*/true);
+  return v.value_or(def);
+}
+
+long CliParser::option_int(const std::string& name, long def,
+                           const std::string& help) {
+  note_help(name, std::to_string(def), help);
+  auto v = take(name, /*wants_value=*/true);
+  if (!v) return def;
+  char* end = nullptr;
+  const long out = std::strtol(v->c_str(), &end, 10);
+  NEUTRAL_REQUIRE(end != nullptr && *end == '\0',
+                  "option --" + name + " expects an integer, got '" + *v + "'");
+  return out;
+}
+
+double CliParser::option_double(const std::string& name, double def,
+                                const std::string& help) {
+  note_help(name, std::to_string(def), help);
+  auto v = take(name, /*wants_value=*/true);
+  if (!v) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  NEUTRAL_REQUIRE(end != nullptr && *end == '\0',
+                  "option --" + name + " expects a number, got '" + *v + "'");
+  return out;
+}
+
+bool CliParser::finish() {
+  if (help_requested_) {
+    std::printf("usage: %s [options]\n", program_.c_str());
+    for (const auto& line : help_lines_) std::printf("%s\n", line.c_str());
+    return false;
+  }
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    NEUTRAL_REQUIRE(used_[i], "unknown argument '" + args_[i] + "'");
+  }
+  return true;
+}
+
+}  // namespace neutral

@@ -1,0 +1,48 @@
+// Minimal command-line option parser for the example and benchmark binaries.
+//
+// Supports `--flag`, `--key=value` and `--key value` forms.  Unknown options
+// are an error so that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace neutral {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// Declare a boolean flag; returns true when present.
+  bool flag(const std::string& name, const std::string& help);
+
+  /// Declare a string option with a default.
+  std::string option(const std::string& name, const std::string& def,
+                     const std::string& help);
+
+  /// Declare numeric options with defaults.
+  long option_int(const std::string& name, long def, const std::string& help);
+  double option_double(const std::string& name, double def,
+                       const std::string& help);
+
+  /// Call after all declarations: errors on unknown arguments, prints help
+  /// and returns false if --help was given.
+  bool finish();
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> take(const std::string& name, bool wants_value);
+  void note_help(const std::string& name, const std::string& def,
+                 const std::string& help);
+
+  std::string program_;
+  std::vector<std::string> args_;
+  std::vector<bool> used_;
+  std::vector<std::string> help_lines_;
+  bool help_requested_ = false;
+};
+
+}  // namespace neutral

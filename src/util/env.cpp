@@ -1,0 +1,43 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace neutral {
+
+std::string env_or(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  return v;
+}
+
+long env_or_int(const std::string& name, long def) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const long out = std::strtol(v.c_str(), &end, 10);
+  NEUTRAL_REQUIRE(end != nullptr && *end == '\0',
+                  name + " expects an integer, got '" + v + "'");
+  return out;
+}
+
+double env_or_double(const std::string& name, double def) {
+  const std::string v = env_or(name, "");
+  if (v.empty()) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  NEUTRAL_REQUIRE(end != nullptr && *end == '\0',
+                  name + " expects a number, got '" + v + "'");
+  return out;
+}
+
+bool env_flag(const std::string& name) {
+  std::string v = env_or(name, "");
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace neutral

@@ -1,0 +1,22 @@
+// Environment-variable helpers.
+//
+// Benchmarks honour NEUTRAL_BENCH_SCALE / NEUTRAL_BENCH_FULL so the whole
+// suite can be flipped between laptop-scale and paper-scale without editing
+// every binary.
+#pragma once
+
+#include <string>
+
+namespace neutral {
+
+/// Returns the value of `name` or `def` if unset/empty.
+std::string env_or(const std::string& name, const std::string& def);
+
+/// Numeric variants; malformed values raise neutral::Error.
+long env_or_int(const std::string& name, long def);
+double env_or_double(const std::string& name, double def);
+
+/// True when the variable is set to a truthy value (1/true/yes/on).
+bool env_flag(const std::string& name);
+
+}  // namespace neutral

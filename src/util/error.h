@@ -1,0 +1,37 @@
+// Error handling helpers shared across the neutral-mc libraries.
+//
+// The library throws `neutral::Error` (a std::runtime_error) for programmer
+// and configuration mistakes.  Hot transport loops never throw; all argument
+// checking happens at setup boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace neutral {
+
+/// Exception type thrown by all neutral-mc components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace neutral
+
+/// Precondition check used on configuration/setup paths (never in kernels).
+/// Throws neutral::Error with file/line context on failure.
+#define NEUTRAL_REQUIRE(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::neutral::detail::fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

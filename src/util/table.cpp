@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace neutral {
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  NEUTRAL_REQUIRE(!columns_.empty(), "a table needs at least one column");
+}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  NEUTRAL_REQUIRE(cells.size() == columns_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "| " : " | ", static_cast<int>(widths[c]),
+                  row[c].c_str());
+    }
+    std::printf(" |\n");
+  };
+  print_row(columns_);
+  std::size_t total = 4;
+  for (auto w : widths) total += w + 3;
+  for (std::size_t i = 0; i < total - 3; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void ResultTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  NEUTRAL_REQUIRE(out.good(), "cannot open CSV output file " + path);
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    return q + "\"";
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c ? "," : "") << esc(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << esc(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+std::string ResultTable::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision >= 0 ? precision + 3 : 6, v);
+  // Use fixed for "nice" magnitudes, %g already handles extremes.
+  if (v != 0.0 && (std::abs(v) >= 1e-3 && std::abs(v) < 1e6)) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  }
+  return buf;
+}
+
+std::string ResultTable::cell(long v) { return std::to_string(v); }
+std::string ResultTable::cell(unsigned long long v) { return std::to_string(v); }
+
+}  // namespace neutral

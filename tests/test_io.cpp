@@ -1,0 +1,141 @@
+// Tests for the deck text format (io/deck_io.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/deck_io.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+const char* kMinimalDeck = R"(
+# a comment
+nx 64
+ny 32
+particles 1000
+)";
+
+TEST(DeckIo, ParsesMinimalDeck) {
+  const ProblemDeck d = parse_deck(kMinimalDeck);
+  EXPECT_EQ(d.nx, 64);
+  EXPECT_EQ(d.ny, 32);
+  EXPECT_EQ(d.n_particles, 1000);
+  EXPECT_DOUBLE_EQ(d.dt_s, 1.0e-7);  // default preserved
+}
+
+TEST(DeckIo, ParsesFullDeck) {
+  const char* text = R"(
+name mytest
+nx 100
+ny 100
+width 50.0
+height 50.0
+density 1e-30
+region 10 10 20 20 1000.0   # dense block
+region 30 30 40 40 500.0
+source 0 0 5 5
+energy 2e6
+particles 5000
+dt 2e-7
+timesteps 3
+seed 99
+molar_mass 2.0
+mass_number 12
+min_energy 0.5
+min_weight 1e-12
+xs_points 1234
+)";
+  const ProblemDeck d = parse_deck(text);
+  EXPECT_EQ(d.name, "mytest");
+  EXPECT_DOUBLE_EQ(d.width_cm, 50.0);
+  ASSERT_EQ(d.regions.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.regions[0].density_kg_m3, 1000.0);
+  EXPECT_DOUBLE_EQ(d.regions[1].x0, 30.0);
+  EXPECT_DOUBLE_EQ(d.src_x1, 5.0);
+  EXPECT_DOUBLE_EQ(d.initial_energy_ev, 2e6);
+  EXPECT_EQ(d.n_timesteps, 3);
+  EXPECT_EQ(d.seed, 99u);
+  EXPECT_DOUBLE_EQ(d.molar_mass_g_mol, 2.0);
+  EXPECT_DOUBLE_EQ(d.mass_number, 12.0);
+  EXPECT_DOUBLE_EQ(d.min_energy_ev, 0.5);
+  EXPECT_EQ(d.xs.points, 1234);
+}
+
+TEST(DeckIo, CommentsAndBlankLinesIgnored) {
+  const ProblemDeck d = parse_deck("# hi\n\nnx 8\nny 8 # inline\nparticles 1\n");
+  EXPECT_EQ(d.nx, 8);
+}
+
+TEST(DeckIo, MissingMeshRejected) {
+  EXPECT_THROW(parse_deck("particles 10\n"), Error);
+}
+
+TEST(DeckIo, MissingParticlesRejected) {
+  EXPECT_THROW(parse_deck("nx 8\nny 8\n"), Error);
+}
+
+TEST(DeckIo, UnknownKeyRejectedWithLineNumber) {
+  try {
+    parse_deck("nx 8\nny 8\nparticles 1\nbogus 1\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(DeckIo, WrongArityRejected) {
+  EXPECT_THROW(parse_deck("nx\n"), Error);
+  EXPECT_THROW(parse_deck("region 1 2 3\n"), Error);
+  EXPECT_THROW(parse_deck("source 1 2 3 4 5\n"), Error);
+}
+
+TEST(DeckIo, MalformedNumbersRejected) {
+  EXPECT_THROW(parse_deck("nx abc\nny 8\nparticles 1\n"), Error);
+  EXPECT_THROW(parse_deck("nx 8\nny 8\nparticles 1\ndt fast\n"), Error);
+}
+
+TEST(DeckIo, InvertedRectanglesRejected) {
+  EXPECT_THROW(parse_deck("nx 8\nny 8\nparticles 1\nregion 5 5 1 1 10\n"),
+               Error);
+  EXPECT_THROW(parse_deck("nx 8\nny 8\nparticles 1\nsource 5 5 1 1\n"), Error);
+}
+
+TEST(DeckIo, NonPositiveRunParamsRejected) {
+  EXPECT_THROW(parse_deck("nx 8\nny 8\nparticles 1\ndt -1\n"), Error);
+  EXPECT_THROW(parse_deck("nx 8\nny 8\nparticles 1\ntimesteps 0\n"), Error);
+}
+
+TEST(DeckIo, FormatRoundTripsFactoryDeck) {
+  const ProblemDeck original = csp_deck(0.05, 0.001);
+  const ProblemDeck reparsed = parse_deck(format_deck(original));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.nx, original.nx);
+  EXPECT_EQ(reparsed.n_particles, original.n_particles);
+  EXPECT_DOUBLE_EQ(reparsed.base_density_kg_m3, original.base_density_kg_m3);
+  ASSERT_EQ(reparsed.regions.size(), original.regions.size());
+  EXPECT_DOUBLE_EQ(reparsed.regions[0].density_kg_m3,
+                   original.regions[0].density_kg_m3);
+  EXPECT_DOUBLE_EQ(reparsed.src_x1, original.src_x1);
+  EXPECT_EQ(reparsed.seed, original.seed);
+  EXPECT_DOUBLE_EQ(reparsed.min_weight, original.min_weight);
+}
+
+TEST(DeckIo, SaveAndLoadFromDisk) {
+  const ProblemDeck original = scatter_deck(0.05, 0.0001);
+  const std::string path = ::testing::TempDir() + "/neutral_deck_test.params";
+  save_deck(original, path);
+  const ProblemDeck loaded = load_deck(path);
+  EXPECT_EQ(loaded.name, "scatter");
+  EXPECT_EQ(loaded.nx, original.nx);
+  EXPECT_DOUBLE_EQ(loaded.dt_s, original.dt_s);
+  std::remove(path.c_str());
+}
+
+TEST(DeckIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_deck("/nonexistent/path/deck.params"), Error);
+}
+
+}  // namespace
+}  // namespace neutral

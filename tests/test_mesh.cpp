@@ -1,0 +1,306 @@
+// Tests for the mesh substrate: geometry, cell location, facet
+// intersection, reflective boundaries, density fields, heat maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "mesh/density_field.h"
+#include "mesh/facet.h"
+#include "mesh/heatmap.h"
+#include "mesh/mesh2d.h"
+#include "util/error.h"
+#include "util/numeric.h"
+
+namespace neutral {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StructuredMesh2D
+// ---------------------------------------------------------------------------
+
+TEST(Mesh, UniformConstructionGeometry) {
+  StructuredMesh2D m(10, 20, 100.0, 50.0);
+  EXPECT_EQ(m.nx(), 10);
+  EXPECT_EQ(m.ny(), 20);
+  EXPECT_EQ(m.num_cells(), 200);
+  EXPECT_DOUBLE_EQ(m.width(), 100.0);
+  EXPECT_DOUBLE_EQ(m.height(), 50.0);
+  EXPECT_DOUBLE_EQ(m.cell_dx(0), 10.0);
+  EXPECT_DOUBLE_EQ(m.cell_dy(0), 2.5);
+  EXPECT_TRUE(m.uniform());
+}
+
+TEST(Mesh, RejectsDegenerateGeometry) {
+  EXPECT_THROW(StructuredMesh2D(0, 5, 1.0, 1.0), Error);
+  EXPECT_THROW(StructuredMesh2D(5, 5, -1.0, 1.0), Error);
+}
+
+TEST(Mesh, LocateFindsCorrectCell) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  EXPECT_EQ(m.locate(0.5, 0.5), (CellIndex{0, 0}));
+  EXPECT_EQ(m.locate(3.5, 0.5), (CellIndex{3, 0}));
+  EXPECT_EQ(m.locate(1.5, 2.5), (CellIndex{1, 2}));
+}
+
+TEST(Mesh, LocateClampsOutOfDomainPoints) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  EXPECT_EQ(m.locate(-1.0, -1.0), (CellIndex{0, 0}));
+  EXPECT_EQ(m.locate(10.0, 10.0), (CellIndex{3, 3}));
+}
+
+TEST(Mesh, LocateOnTopEdgeBelongsToLastCell) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  EXPECT_EQ(m.locate(4.0, 4.0), (CellIndex{3, 3}));
+}
+
+TEST(Mesh, FlatIndexIsRowMajor) {
+  StructuredMesh2D m(5, 3, 1.0, 1.0);
+  EXPECT_EQ(m.flat_index({0, 0}), 0);
+  EXPECT_EQ(m.flat_index({4, 0}), 4);
+  EXPECT_EQ(m.flat_index({0, 1}), 5);
+  EXPECT_EQ(m.flat_index({4, 2}), 14);
+}
+
+TEST(Mesh, NonUniformEdgesRespected) {
+  aligned_vector<double> ex{0.0, 1.0, 4.0, 5.0};
+  aligned_vector<double> ey{0.0, 2.0, 3.0};
+  StructuredMesh2D m(std::move(ex), std::move(ey));
+  EXPECT_EQ(m.nx(), 3);
+  EXPECT_EQ(m.ny(), 2);
+  EXPECT_FALSE(m.uniform());
+  EXPECT_DOUBLE_EQ(m.cell_dx(1), 3.0);
+  EXPECT_EQ(m.locate(2.0, 2.5), (CellIndex{1, 1}));
+  EXPECT_EQ(m.locate(0.5, 0.5), (CellIndex{0, 0}));
+}
+
+TEST(Mesh, NonUniformRejectsUnsortedEdges) {
+  aligned_vector<double> bad{0.0, 2.0, 1.0};
+  aligned_vector<double> ok{0.0, 1.0};
+  EXPECT_THROW(StructuredMesh2D(std::move(bad), std::move(ok)), Error);
+}
+
+TEST(Mesh, CellCentres) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  EXPECT_DOUBLE_EQ(m.centre_x(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.centre_y(3), 3.5);
+}
+
+TEST(Mesh, LocateMatchesBruteForceOnNonUniform) {
+  aligned_vector<double> ex{0.0, 0.1, 0.5, 2.0, 2.1, 7.0};
+  aligned_vector<double> ey{0.0, 3.0, 3.5, 9.0};
+  StructuredMesh2D m(std::move(ex), std::move(ey));
+  for (double x = 0.05; x < 7.0; x += 0.37) {
+    for (double y = 0.05; y < 9.0; y += 0.41) {
+      const CellIndex c = m.locate(x, y);
+      EXPECT_LE(m.edge_x(c.x), x);
+      EXPECT_LT(x, m.edge_x(c.x + 1));
+      EXPECT_LE(m.edge_y(c.y), y);
+      EXPECT_LT(y, m.edge_y(c.y + 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facet intersection
+// ---------------------------------------------------------------------------
+
+TEST(Facet, StraightRightMotionHitsVerticalFacet) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  const auto f = nearest_facet(m, 0.25, 0.5, 1.0, 0.0, {0, 0});
+  EXPECT_DOUBLE_EQ(f.distance, 0.75);
+  EXPECT_EQ(f.axis, 0);
+  EXPECT_EQ(f.step, 1);
+  EXPECT_FALSE(f.at_boundary);
+}
+
+TEST(Facet, StraightUpMotionHitsHorizontalFacet) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  const auto f = nearest_facet(m, 0.5, 0.25, 0.0, 1.0, {0, 0});
+  EXPECT_DOUBLE_EQ(f.distance, 0.75);
+  EXPECT_EQ(f.axis, 1);
+  EXPECT_EQ(f.step, 1);
+}
+
+TEST(Facet, NegativeDirections) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  const auto f = nearest_facet(m, 1.25, 1.5, -1.0, 0.0, {1, 1});
+  EXPECT_DOUBLE_EQ(f.distance, 0.25);
+  EXPECT_EQ(f.axis, 0);
+  EXPECT_EQ(f.step, -1);
+}
+
+TEST(Facet, DiagonalPicksNearerAxis) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  // From (0.9, 0.5) at 45 degrees: x facet at distance 0.1*sqrt(2) wins.
+  const double inv = 1.0 / std::sqrt(2.0);
+  const auto f = nearest_facet(m, 0.9, 0.5, inv, inv, {0, 0});
+  EXPECT_EQ(f.axis, 0);
+  EXPECT_NEAR(f.distance, 0.1 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Facet, BoundaryFlagSetAtDomainEdge) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  const auto right = nearest_facet(m, 3.5, 0.5, 1.0, 0.0, {3, 0});
+  EXPECT_TRUE(right.at_boundary);
+  const auto left = nearest_facet(m, 0.5, 0.5, -1.0, 0.0, {0, 0});
+  EXPECT_TRUE(left.at_boundary);
+  const auto top = nearest_facet(m, 0.5, 3.5, 0.0, 1.0, {0, 3});
+  EXPECT_TRUE(top.at_boundary);
+  const auto bottom = nearest_facet(m, 0.5, 0.5, 0.0, -1.0, {0, 0});
+  EXPECT_TRUE(bottom.at_boundary);
+}
+
+TEST(Facet, DistanceNeverNegative) {
+  StructuredMesh2D m(8, 8, 8.0, 8.0);
+  // Position a hair past the facet it just crossed (round-off scenario).
+  const auto f = nearest_facet(m, 1.0 + 1e-15, 0.5, 1.0, 0.0, {1, 0});
+  EXPECT_GE(f.distance, 0.0);
+}
+
+TEST(Facet, InteriorCrossingStepsCellIndex) {
+  FacetIntersection f;
+  f.axis = 0;
+  f.step = 1;
+  f.at_boundary = false;
+  CellIndex c{1, 1};
+  double ox = 1.0, oy = 0.0;
+  EXPECT_FALSE(apply_facet_crossing(f, c, ox, oy));
+  EXPECT_EQ(c, (CellIndex{2, 1}));
+  EXPECT_DOUBLE_EQ(ox, 1.0);  // direction unchanged
+}
+
+TEST(Facet, BoundaryCrossingReflectsDirection) {
+  FacetIntersection f;
+  f.axis = 0;
+  f.step = 1;
+  f.at_boundary = true;
+  CellIndex c{3, 1};
+  double ox = 0.8, oy = 0.6;
+  EXPECT_TRUE(apply_facet_crossing(f, c, ox, oy));
+  EXPECT_EQ(c, (CellIndex{3, 1}));  // cell unchanged
+  EXPECT_DOUBLE_EQ(ox, -0.8);
+  EXPECT_DOUBLE_EQ(oy, 0.6);
+}
+
+TEST(Facet, VerticalReflectionFlipsY) {
+  FacetIntersection f;
+  f.axis = 1;
+  f.step = -1;
+  f.at_boundary = true;
+  CellIndex c{0, 0};
+  double ox = 0.6, oy = -0.8;
+  EXPECT_TRUE(apply_facet_crossing(f, c, ox, oy));
+  EXPECT_DOUBLE_EQ(oy, 0.8);
+  EXPECT_DOUBLE_EQ(ox, 0.6);
+}
+
+// Property test: a particle walked facet-to-facet across the whole mesh
+// crosses exactly nx interior+boundary facets and lands where expected.
+class FacetWalk : public ::testing::TestWithParam<int> {};
+
+TEST_P(FacetWalk, StraightLineCrossesExpectedFacetCount) {
+  const int n = GetParam();
+  StructuredMesh2D m(n, n, static_cast<double>(n), static_cast<double>(n));
+  double x = 0.5, y = 0.5;
+  double ox = 1.0, oy = 0.0;
+  CellIndex c{0, 0};
+  int crossings = 0;
+  // Walk until we reflect off the right wall.
+  for (;;) {
+    const auto f = nearest_facet(m, x, y, ox, oy, c);
+    x += ox * f.distance;
+    y += oy * f.distance;
+    ++crossings;
+    const bool reflected = apply_facet_crossing(f, c, ox, oy);
+    if (reflected) break;
+  }
+  EXPECT_EQ(crossings, n);  // n-1 interior facets + 1 boundary
+  EXPECT_EQ(c.x, n - 1);
+  EXPECT_DOUBLE_EQ(ox, -1.0);
+  EXPECT_NEAR(x, static_cast<double>(n), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FacetWalk, ::testing::Values(1, 2, 3, 8, 33, 100));
+
+// ---------------------------------------------------------------------------
+// DensityField
+// ---------------------------------------------------------------------------
+
+TEST(Density, UniformFillAndUnitConversion) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  DensityField rho(m, 1000.0);  // kg/m^3
+  EXPECT_DOUBLE_EQ(rho.g_cm3(0), 1.0);
+  EXPECT_DOUBLE_EQ(rho.kg_m3(0), 1000.0);
+}
+
+TEST(Density, RectOverrideAppliesByCellCentre) {
+  StructuredMesh2D m(4, 4, 4.0, 4.0);
+  DensityField rho(m, 0.0);
+  rho.fill_rect(1.0, 1.0, 3.0, 3.0, 500.0);
+  // Centres at 1.5 and 2.5 are inside; 0.5 and 3.5 outside.
+  EXPECT_DOUBLE_EQ(rho.kg_m3(m.flat_index({1, 1})), 500.0);
+  EXPECT_DOUBLE_EQ(rho.kg_m3(m.flat_index({2, 2})), 500.0);
+  EXPECT_DOUBLE_EQ(rho.kg_m3(m.flat_index({0, 0})), 0.0);
+  EXPECT_DOUBLE_EQ(rho.kg_m3(m.flat_index({3, 3})), 0.0);
+}
+
+TEST(Density, RejectsNegativeDensity) {
+  StructuredMesh2D m(2, 2, 1.0, 1.0);
+  EXPECT_THROW(DensityField(m, -1.0), Error);
+  DensityField rho(m, 1.0);
+  EXPECT_THROW(rho.fill_rect(0, 0, 1, 1, -5.0), Error);
+}
+
+TEST(Density, FillOverwritesEverything) {
+  StructuredMesh2D m(3, 3, 1.0, 1.0);
+  DensityField rho(m, 1.0);
+  rho.fill(7000.0);
+  for (std::int64_t i = 0; i < rho.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rho.kg_m3(i), 7000.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heatmap
+// ---------------------------------------------------------------------------
+
+TEST(Heatmap, WritesValidPpm) {
+  StructuredMesh2D m(16, 8, 16.0, 8.0);
+  std::vector<double> field(static_cast<std::size_t>(m.num_cells()), 0.0);
+  field[10] = 1.0;
+  const std::string path = ::testing::TempDir() + "/neutral_heatmap_test.ppm";
+  write_heatmap_ppm(path, m, field.data());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 8);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<std::size_t>(w) * h * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Heatmap, DownsamplesLargeMeshes) {
+  StructuredMesh2D m(64, 64, 1.0, 1.0);
+  std::vector<double> field(static_cast<std::size_t>(m.num_cells()), 1.0);
+  const std::string path = ::testing::TempDir() + "/neutral_heatmap_ds.ppm";
+  write_heatmap_ppm(path, m, field.data(), /*max_pixels=*/16);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 16);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace neutral

@@ -1,0 +1,131 @@
+// Tests for the expected-results regression workflow (io/results_io.h).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/results_io.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+SimulationConfig small_config() {
+  SimulationConfig cfg;
+  cfg.deck = csp_deck(0.016, 1.0);
+  cfg.deck.n_particles = 250;
+  cfg.deck.xs.points = 1500;
+  return cfg;
+}
+
+TEST(ResultsIo, SnapshotCapturesRun) {
+  const SimulationConfig cfg = small_config();
+  Simulation sim(cfg);
+  const RunResult r = sim.run();
+  const ExpectedResults e = make_expected(cfg, r);
+  EXPECT_EQ(e.problem, "csp");
+  EXPECT_EQ(e.particles, 250);
+  EXPECT_EQ(e.facets, r.counters.facets);
+  EXPECT_DOUBLE_EQ(e.tally_total, r.budget.tally_total);
+}
+
+TEST(ResultsIo, FormatRoundTripsExactly) {
+  ExpectedResults e;
+  e.problem = "stream";
+  e.particles = 1234;
+  e.timesteps = 3;
+  e.seed = 99;
+  e.tally_total = 1.2345678901234567e8;
+  e.tally_checksum = -7.654321e-3;
+  e.facets = 111;
+  e.collisions = 222;
+  e.censuses = 333;
+  const ExpectedResults back = parse_results(format_results(e));
+  EXPECT_EQ(back.problem, e.problem);
+  EXPECT_EQ(back.particles, e.particles);
+  EXPECT_EQ(back.timesteps, e.timesteps);
+  EXPECT_EQ(back.seed, e.seed);
+  EXPECT_DOUBLE_EQ(back.tally_total, e.tally_total);
+  EXPECT_DOUBLE_EQ(back.tally_checksum, e.tally_checksum);
+  EXPECT_EQ(back.facets, e.facets);
+  EXPECT_EQ(back.collisions, e.collisions);
+  EXPECT_EQ(back.censuses, e.censuses);
+}
+
+TEST(ResultsIo, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_results("tally_total not_a_number\n"), std::exception);
+  EXPECT_THROW(parse_results("bogus_key 1\ntally_total 1\n"), Error);
+  EXPECT_THROW(parse_results("problem x\n"), Error);  // missing tally
+  EXPECT_THROW(parse_results("particles\ntally_total 1\n"), Error);
+}
+
+TEST(ResultsIo, FreshRunVerifiesAgainstItsOwnRecord) {
+  const SimulationConfig cfg = small_config();
+  Simulation a(cfg);
+  const RunResult ra = a.run();
+  const ExpectedResults record = make_expected(cfg, ra);
+
+  Simulation b(cfg);
+  const RunResult rb = b.run();
+  const ResultsCheck check = verify_results(record, cfg, rb);
+  EXPECT_TRUE(check.passed) << check.detail;
+}
+
+TEST(ResultsIo, SchemeFlipStillVerifies) {
+  // Over Events must reproduce the Over Particles record: the regression
+  // file pins the physics, not the execution strategy.
+  const SimulationConfig op = small_config();
+  Simulation a(op);
+  const ExpectedResults record = make_expected(op, a.run());
+
+  SimulationConfig oe = op;
+  oe.scheme = Scheme::kOverEvents;
+  oe.layout = Layout::kSoA;
+  oe.tally_mode = TallyMode::kDeferredAtomic;
+  Simulation b(oe);
+  const RunResult rb = b.run();
+  // Verify against the OP config identity fields but the OE run outputs.
+  const ResultsCheck check = verify_results(record, op, rb);
+  EXPECT_TRUE(check.passed) << check.detail;
+}
+
+TEST(ResultsIo, DetectsSeedDrift) {
+  const SimulationConfig cfg = small_config();
+  Simulation a(cfg);
+  const ExpectedResults record = make_expected(cfg, a.run());
+
+  SimulationConfig drifted = cfg;
+  drifted.deck.seed = cfg.deck.seed + 1;
+  Simulation b(drifted);
+  const RunResult rb = b.run();
+  const ResultsCheck check = verify_results(record, drifted, rb);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.detail.find("seed"), std::string::npos);
+}
+
+TEST(ResultsIo, DetectsPhysicsRegression) {
+  const SimulationConfig cfg = small_config();
+  Simulation a(cfg);
+  const RunResult ra = a.run();
+  ExpectedResults record = make_expected(cfg, ra);
+  // Simulate a physics regression: the recorded tally differs.
+  record.tally_total *= 1.001;
+  const ResultsCheck check = verify_results(record, cfg, ra);
+  EXPECT_FALSE(check.passed);
+  EXPECT_NE(check.detail.find("tally total"), std::string::npos);
+}
+
+TEST(ResultsIo, SaveAndLoadDisk) {
+  ExpectedResults e;
+  e.problem = "scatter";
+  e.tally_total = 42.0;
+  const std::string path = ::testing::TempDir() + "/neutral_results_test.results";
+  save_results(e, path);
+  const ExpectedResults back = load_results(path);
+  EXPECT_EQ(back.problem, "scatter");
+  EXPECT_DOUBLE_EQ(back.tally_total, 42.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_results("/nonexistent/x.results"), Error);
+}
+
+}  // namespace
+}  // namespace neutral

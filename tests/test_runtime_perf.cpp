@@ -1,0 +1,213 @@
+// Direct tests for the runtime (OpenMP control, timers, host probe) and
+// perf (phase profiler, statistics) modules, which the integration tests
+// only exercise indirectly.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <thread>
+
+#include "perf/profiler.h"
+#include "perf/stats.h"
+#include "runtime/host_info.h"
+#include "runtime/schedule.h"
+#include "runtime/timer.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SchedulePolicy
+// ---------------------------------------------------------------------------
+
+TEST(Schedule, NamesMatchOpenMpSyntax) {
+  EXPECT_EQ(SchedulePolicy::statics().name(), "static");
+  EXPECT_EQ(SchedulePolicy::static_chunk(4).name(), "static,4");
+  EXPECT_EQ(SchedulePolicy::dynamic().name(), "dynamic");
+  EXPECT_EQ(SchedulePolicy::dynamic(16).name(), "dynamic,16");
+  EXPECT_EQ(SchedulePolicy::guided().name(), "guided");
+  EXPECT_EQ(SchedulePolicy::guided(8).name(), "guided,8");
+}
+
+TEST(Schedule, ApplyInstallsRuntimeSchedule) {
+  apply_schedule(SchedulePolicy::dynamic(32));
+  omp_sched_t kind;
+  int chunk;
+  omp_get_schedule(&kind, &chunk);
+  EXPECT_EQ(kind, omp_sched_dynamic);
+  EXPECT_EQ(chunk, 32);
+
+  apply_schedule(SchedulePolicy::statics());
+  omp_get_schedule(&kind, &chunk);
+  EXPECT_EQ(kind, omp_sched_static);
+}
+
+TEST(Schedule, StaticChunkRequiresChunk) {
+  SchedulePolicy bad{ScheduleKind::kStaticChunk, 0};
+  EXPECT_THROW(apply_schedule(bad), Error);
+  SchedulePolicy negative{ScheduleKind::kDynamic, -1};
+  EXPECT_THROW(apply_schedule(negative), Error);
+}
+
+TEST(Schedule, ThreadCountRoundTrips) {
+  const std::int32_t before = thread_count();
+  set_thread_count(2);
+  EXPECT_EQ(thread_count(), 2);
+  int seen = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    seen = omp_get_num_threads();
+  }
+  EXPECT_EQ(seen, 2);
+  set_thread_count(before);
+  EXPECT_THROW(set_thread_count(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// WallTimer
+// ---------------------------------------------------------------------------
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1000.0, 20.0);
+}
+
+TEST(Timer, RestartResets) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Timer, BestOfKeepsMinimum) {
+  int calls = 0;
+  const double best = time_best_of(3, [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_GE(best, 0.001);
+  EXPECT_LT(best, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Host probe
+// ---------------------------------------------------------------------------
+
+TEST(HostInfo, ProbesSaneValues) {
+  const HostInfo info = probe_host();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_GE(info.openmp_max_threads, 1);
+  EXPECT_FALSE(info.cpu_model.empty());
+  const std::string banner = host_banner();
+  EXPECT_NE(banner.find("logical cpus"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PhaseProfiler
+// ---------------------------------------------------------------------------
+
+TEST(Profiler, AccumulatesPerPhase) {
+  PhaseProfiler profiler(2);
+  profiler.add(0, Phase::kFacet, 100);
+  profiler.add(0, Phase::kFacet, 50);
+  profiler.add(1, Phase::kCollision, 300);
+  const auto report = profiler.report();
+  EXPECT_EQ(report.visits[static_cast<int>(Phase::kFacet)], 2u);
+  EXPECT_EQ(report.cycles[static_cast<int>(Phase::kFacet)], 150u);
+  EXPECT_EQ(report.total_cycles(), 450u);
+  EXPECT_DOUBLE_EQ(report.cycles_per_visit(Phase::kFacet), 75.0);
+  EXPECT_DOUBLE_EQ(report.fraction(Phase::kCollision), 300.0 / 450.0);
+}
+
+TEST(Profiler, EmptyReportIsZero) {
+  PhaseProfiler profiler(1);
+  const auto report = profiler.report();
+  EXPECT_EQ(report.total_cycles(), 0u);
+  EXPECT_DOUBLE_EQ(report.fraction(Phase::kTally), 0.0);
+  EXPECT_DOUBLE_EQ(report.cycles_per_visit(Phase::kTally), 0.0);
+}
+
+TEST(Profiler, ResetClears) {
+  PhaseProfiler profiler(1);
+  profiler.add(0, Phase::kCensus, 10);
+  profiler.reset();
+  EXPECT_EQ(profiler.report().total_cycles(), 0u);
+}
+
+TEST(Profiler, RejectsZeroSlots) {
+  EXPECT_THROW(PhaseProfiler(0), Error);
+}
+
+TEST(Profiler, ScopedPhaseMeasuresNonNegative) {
+  PhaseProfiler profiler(1);
+  {
+    ScopedPhase probe(&profiler, 0, Phase::kEventSearch);
+    double x = 0.0;
+    for (int i = 0; i < 1000; ++i) x += i;
+    volatile double sink = x;
+    (void)sink;
+  }
+  const auto report = profiler.report();
+  EXPECT_EQ(report.visits[static_cast<int>(Phase::kEventSearch)], 1u);
+  EXPECT_GT(report.cycles[static_cast<int>(Phase::kEventSearch)], 0u);
+}
+
+TEST(Profiler, NullProfilerIsNoOp) {
+  // The RAII probe must be safe with a null profiler (production path).
+  ScopedPhase probe(nullptr, 0, Phase::kTally);
+  SUCCEED();
+}
+
+TEST(Profiler, TscCalibrationPlausible) {
+  const double ghz = PhaseProfiler::tsc_ghz();
+  EXPECT_GT(ghz, 0.2);
+  EXPECT_LT(ghz, 10.0);
+}
+
+TEST(Profiler, PhaseNamesStable) {
+  EXPECT_STREQ(to_string(Phase::kEventSearch), "event-search");
+  EXPECT_STREQ(to_string(Phase::kCollision), "collision");
+  EXPECT_STREQ(to_string(Phase::kFacet), "facet");
+  EXPECT_STREQ(to_string(Phase::kTally), "tally");
+  EXPECT_STREQ(to_string(Phase::kCensus), "census");
+  EXPECT_STREQ(to_string(Phase::kOther), "other");
+}
+
+// ---------------------------------------------------------------------------
+// SampleStats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SummarisesKnownSample) {
+  const SampleStats s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample (n-1) stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_EQ(s.n, 8u);
+}
+
+TEST(Stats, SingleElement) {
+  const SampleStats s = summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+}
+
+TEST(Stats, OddCountMedian) {
+  const SampleStats s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, EmptySampleRejected) {
+  EXPECT_THROW(summarize({}), Error);
+}
+
+}  // namespace
+}  // namespace neutral

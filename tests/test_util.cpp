@@ -1,0 +1,223 @@
+// Tests for the util/ foundation layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "util/aligned.h"
+#include "util/cli.h"
+#include "util/env.h"
+#include "util/error.h"
+#include "util/numeric.h"
+#include "util/table.h"
+
+namespace neutral {
+namespace {
+
+// ---------------------------------------------------------------------------
+// error.h
+// ---------------------------------------------------------------------------
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(NEUTRAL_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    NEUTRAL_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// aligned.h
+// ---------------------------------------------------------------------------
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  aligned_vector<double> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+}
+
+TEST(Aligned, WorksForSmallTypes) {
+  aligned_vector<std::uint8_t> v(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+}
+
+TEST(Aligned, VectorGrowsCorrectly) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Aligned, PaddedOccupiesFullCacheLines) {
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLine, 0u);
+  EXPECT_EQ(alignof(Padded<int>), kCacheLine);
+  Padded<int> p;
+  p.value = 42;
+  EXPECT_EQ(p.value, 42);
+}
+
+TEST(Aligned, PaddedArrayElementsDontShareLines) {
+  aligned_vector<Padded<std::uint64_t>> counters(4);
+  const auto a = reinterpret_cast<std::uintptr_t>(&counters[0].value);
+  const auto b = reinterpret_cast<std::uintptr_t>(&counters[1].value);
+  EXPECT_GE(b - a, kCacheLine);
+}
+
+// ---------------------------------------------------------------------------
+// numeric.h
+// ---------------------------------------------------------------------------
+
+TEST(Numeric, Sqr) { EXPECT_DOUBLE_EQ(sqr(-3.0), 9.0); }
+
+TEST(Numeric, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Numeric, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(1e-301, -1e-301));  // below absolute floor
+}
+
+TEST(Numeric, KahanSumBeatsNaiveSummation) {
+  // 1 + 1e-16 * n: naive summation loses the small terms entirely.
+  KahanSum kahan;
+  kahan.add(1.0);
+  double naive = 1.0;
+  const int n = 10000000;
+  for (int i = 0; i < n; ++i) {
+    kahan.add(1.0e-16);
+    naive += 1.0e-16;
+  }
+  const double expected = 1.0 + 1.0e-16 * n;
+  EXPECT_NEAR(kahan.value(), expected, 1e-15);
+  EXPECT_LT(naive, expected - 1e-10);  // demonstrates the failure mode
+}
+
+TEST(Numeric, InfinityComparesCorrectly) {
+  EXPECT_GT(kInf, 1e308);
+  EXPECT_TRUE(1.0 < kInf);
+}
+
+// ---------------------------------------------------------------------------
+// cli.h
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndOptions) {
+  const char* argv[] = {"prog", "--fast", "--deck=csp", "--threads", "8"};
+  CliParser cli(5, argv);
+  EXPECT_TRUE(cli.flag("fast", "go fast"));
+  EXPECT_FALSE(cli.flag("slow", "go slow"));
+  EXPECT_EQ(cli.option("deck", "stream", "deck name"), "csp");
+  EXPECT_EQ(cli.option_int("threads", 1, "thread count"), 8);
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliParser cli(1, argv);
+  EXPECT_EQ(cli.option("deck", "stream", "deck"), "stream");
+  EXPECT_EQ(cli.option_int("n", 42, "count"), 42);
+  EXPECT_DOUBLE_EQ(cli.option_double("scale", 0.5, "scale"), 0.5);
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, RejectsUnknownArguments) {
+  const char* argv[] = {"prog", "--bogus"};
+  CliParser cli(2, argv);
+  EXPECT_THROW(cli.finish(), Error);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliParser cli(2, argv);
+  EXPECT_THROW(cli.option_int("n", 0, "count"), Error);
+}
+
+TEST(Cli, HelpSuppressesExecution) {
+  const char* argv[] = {"prog", "--help"};
+  CliParser cli(2, argv);
+  cli.flag("x", "an option");
+  EXPECT_FALSE(cli.finish());
+}
+
+TEST(Cli, EqualsFormAndSpaceFormAgree) {
+  const char* argv1[] = {"prog", "--scale=2.5"};
+  const char* argv2[] = {"prog", "--scale", "2.5"};
+  CliParser a(2, argv1), b(3, argv2);
+  EXPECT_DOUBLE_EQ(a.option_double("scale", 0, "s"), 2.5);
+  EXPECT_DOUBLE_EQ(b.option_double("scale", 0, "s"), 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// env.h
+// ---------------------------------------------------------------------------
+
+TEST(Env, ReadsAndDefaults) {
+  ::setenv("NEUTRAL_TEST_VAR", "7", 1);
+  EXPECT_EQ(env_or_int("NEUTRAL_TEST_VAR", 1), 7);
+  ::unsetenv("NEUTRAL_TEST_VAR");
+  EXPECT_EQ(env_or_int("NEUTRAL_TEST_VAR", 1), 1);
+}
+
+TEST(Env, FlagRecognisesTruthyValues) {
+  for (const char* v : {"1", "true", "YES", "on"}) {
+    ::setenv("NEUTRAL_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env_flag("NEUTRAL_TEST_FLAG")) << v;
+  }
+  ::setenv("NEUTRAL_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("NEUTRAL_TEST_FLAG"));
+  ::unsetenv("NEUTRAL_TEST_FLAG");
+  EXPECT_FALSE(env_flag("NEUTRAL_TEST_FLAG"));
+}
+
+TEST(Env, MalformedNumberThrows) {
+  ::setenv("NEUTRAL_TEST_BAD", "xyz", 1);
+  EXPECT_THROW(env_or_int("NEUTRAL_TEST_BAD", 0), Error);
+  ::unsetenv("NEUTRAL_TEST_BAD");
+}
+
+// ---------------------------------------------------------------------------
+// table.h
+// ---------------------------------------------------------------------------
+
+TEST(Table, RowWidthEnforced) {
+  ResultTable t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvRoundTripsContent) {
+  ResultTable t("demo", {"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"with,comma", "2"});
+  const std::string path = ::testing::TempDir() + "/neutral_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, NumericCellsFormat) {
+  EXPECT_EQ(ResultTable::cell(static_cast<long>(42)), "42");
+  EXPECT_EQ(ResultTable::cell(1.5, 2), "1.50");
+}
+
+}  // namespace
+}  // namespace neutral

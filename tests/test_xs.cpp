@@ -1,0 +1,263 @@
+// Tests for the cross-section substrate: table validation, interpolation,
+// the three lookup strategies (§VI-A), macroscopic scaling, and the
+// synthetic nuclear-data generators (§IV-D).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/stream.h"
+#include "util/error.h"
+#include "xs/synthetic.h"
+#include "xs/table.h"
+
+namespace neutral {
+namespace {
+
+CrossSectionTable tiny_table() {
+  aligned_vector<double> e{1.0, 2.0, 4.0, 8.0, 16.0};
+  aligned_vector<double> v{10.0, 20.0, 10.0, 40.0, 0.0};
+  return CrossSectionTable(std::move(e), std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Construction and validation
+// ---------------------------------------------------------------------------
+
+TEST(XsTable, RejectsMismatchedArrays) {
+  aligned_vector<double> e{1.0, 2.0};
+  aligned_vector<double> v{1.0};
+  EXPECT_THROW(CrossSectionTable(std::move(e), std::move(v)), Error);
+}
+
+TEST(XsTable, RejectsUnsortedEnergies) {
+  aligned_vector<double> e{1.0, 3.0, 2.0};
+  aligned_vector<double> v{1.0, 1.0, 1.0};
+  EXPECT_THROW(CrossSectionTable(std::move(e), std::move(v)), Error);
+}
+
+TEST(XsTable, RejectsNegativeValues) {
+  aligned_vector<double> e{1.0, 2.0};
+  aligned_vector<double> v{1.0, -1.0};
+  EXPECT_THROW(CrossSectionTable(std::move(e), std::move(v)), Error);
+}
+
+TEST(XsTable, RejectsNonPositiveEnergies) {
+  aligned_vector<double> e{0.0, 2.0};
+  aligned_vector<double> v{1.0, 1.0};
+  EXPECT_THROW(CrossSectionTable(std::move(e), std::move(v)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Interpolation
+// ---------------------------------------------------------------------------
+
+TEST(XsTable, ExactAtKnots) {
+  const auto t = tiny_table();
+  for (std::int32_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.microscopic(t.energy(i)), t.value(i)) << i;
+  }
+}
+
+TEST(XsTable, LinearBetweenKnots) {
+  const auto t = tiny_table();
+  EXPECT_DOUBLE_EQ(t.microscopic(1.5), 15.0);
+  EXPECT_DOUBLE_EQ(t.microscopic(3.0), 15.0);  // midway 20 -> 10
+  EXPECT_DOUBLE_EQ(t.microscopic(12.0), 20.0); // midway 40 -> 0
+}
+
+TEST(XsTable, ClampsBelowAndAboveRange) {
+  const auto t = tiny_table();
+  EXPECT_DOUBLE_EQ(t.microscopic(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(t.microscopic(100.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lookup strategies agree (§VI-A)
+// ---------------------------------------------------------------------------
+
+class LookupAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LookupAgreement, AllStrategiesReturnIdenticalValues) {
+  SyntheticXsConfig cfg;
+  cfg.points = 2000;
+  const auto t = make_capture_table(cfg);
+  rng::BulkStream rng(GetParam(), 1);
+  std::int32_t cached = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Random-walk energies, as collisions produce (§VI-A: mostly small
+    // jumps with occasional large ones).
+    const double ev = std::exp(std::log(1e-5) +
+                               (std::log(2e7) - std::log(1e-5)) * rng.next());
+    std::int32_t bin_idx = 0;
+    const double binary = t.microscopic(ev, XsLookup::kBinarySearch, bin_idx);
+    const double linear = t.microscopic(ev, XsLookup::kCachedLinear, cached);
+    std::int32_t bucket_idx = 0;
+    const double bucket =
+        t.microscopic(ev, XsLookup::kBucketedIndex, bucket_idx);
+    EXPECT_DOUBLE_EQ(binary, linear) << "ev=" << ev;
+    EXPECT_DOUBLE_EQ(binary, bucket) << "ev=" << ev;
+    // All strategies must report the same bin.
+    EXPECT_EQ(bin_idx, cached);
+    EXPECT_EQ(bin_idx, bucket_idx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupAgreement,
+                         ::testing::Values(1ull, 2ull, 3ull, 42ull, 1000ull));
+
+TEST(XsLookup, CachedLinearWalksFromStaleHints) {
+  const auto t = tiny_table();
+  // Hint far right of the target.
+  std::int32_t hint = 3;
+  EXPECT_DOUBLE_EQ(t.microscopic(1.5, XsLookup::kCachedLinear, hint), 15.0);
+  EXPECT_EQ(hint, 0);
+  // Hint far left of the target.
+  hint = 0;
+  EXPECT_DOUBLE_EQ(t.microscopic(12.0, XsLookup::kCachedLinear, hint), 20.0);
+  EXPECT_EQ(hint, 3);
+}
+
+TEST(XsLookup, CachedLinearToleratesOutOfRangeHints) {
+  const auto t = tiny_table();
+  std::int32_t hint = 999;
+  EXPECT_DOUBLE_EQ(t.microscopic(1.5, XsLookup::kCachedLinear, hint), 15.0);
+  hint = -7;
+  EXPECT_DOUBLE_EQ(t.microscopic(1.5, XsLookup::kCachedLinear, hint), 15.0);
+}
+
+TEST(XsLookup, NamesAreStable) {
+  EXPECT_STREQ(to_string(XsLookup::kBinarySearch), "binary");
+  EXPECT_STREQ(to_string(XsLookup::kCachedLinear), "cached-linear");
+  EXPECT_STREQ(to_string(XsLookup::kBucketedIndex), "bucketed");
+}
+
+// ---------------------------------------------------------------------------
+// Macroscopic conversion (§IV-D2)
+// ---------------------------------------------------------------------------
+
+TEST(Macroscopic, NumberDensityOfWater) {
+  // 1 g/cm^3 at 18 g/mol -> ~3.34e22 molecules/cm^3.
+  EXPECT_NEAR(number_density(1.0, 18.0), 3.3456e22, 1e19);
+}
+
+TEST(Macroscopic, ScalesLinearlyWithDensity) {
+  const double n1 = number_density(1.0, 10.0);
+  const double n2 = number_density(2.0, 10.0);
+  EXPECT_DOUBLE_EQ(n2, 2.0 * n1);
+}
+
+TEST(Macroscopic, BarnsConversion) {
+  // Sigma = sigma * 1e-24 * n; with sigma=5 barns, n=1e24 -> 5 /cm.
+  EXPECT_DOUBLE_EQ(macroscopic(5.0, 1.0e24), 5.0);
+}
+
+TEST(Macroscopic, RejectsBadMolarMass) {
+  EXPECT_THROW(number_density(1.0, 0.0), Error);
+}
+
+TEST(Macroscopic, VacuumDensityGivesVanishingSigma) {
+  // The stream problem's 1e-30 kg/m^3 must yield a physically negligible
+  // but non-negative macroscopic cross section.
+  const double n = number_density(1.0e-30 * 1.0e-3, 1.0);
+  const double sigma = macroscopic(5.0, n);
+  EXPECT_GE(sigma, 0.0);
+  EXPECT_LT(sigma, 1e-25);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic tables (§IV-D)
+// ---------------------------------------------------------------------------
+
+TEST(Synthetic, TablesAreDeterministic) {
+  SyntheticXsConfig cfg;
+  cfg.points = 500;
+  const auto a = make_capture_table(cfg);
+  const auto b = make_capture_table(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::int32_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value(i), b.value(i));
+  }
+}
+
+TEST(Synthetic, SeedsChangeResonanceLayout) {
+  SyntheticXsConfig a, b;
+  a.points = b.points = 500;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ta = make_capture_table(a);
+  const auto tb = make_capture_table(b);
+  bool any_diff = false;
+  for (std::int32_t i = 0; i < ta.size(); ++i) {
+    if (ta.value(i) != tb.value(i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, CaptureShowsOneOverVAtThermalEnergies) {
+  SyntheticXsConfig cfg;
+  cfg.points = 4000;
+  cfg.resonances = 0;  // isolate the smooth trend
+  const auto t = make_capture_table(cfg);
+  // sigma(E) * sqrt(E) constant under pure 1/v.
+  const double lo = t.microscopic(1e-4) * std::sqrt(1e-4);
+  const double hi = t.microscopic(1e-2) * std::sqrt(1e-2);
+  EXPECT_NEAR(lo / hi, 1.0, 0.05);
+}
+
+TEST(Synthetic, CaptureResonancesRaiseTheResonanceRegion) {
+  SyntheticXsConfig smooth, res;
+  smooth.points = res.points = 4000;
+  smooth.resonances = 0;
+  res.resonances = 200;
+  const auto ts = make_capture_table(smooth);
+  const auto tr = make_capture_table(res);
+  double sum_smooth = 0.0, sum_res = 0.0;
+  for (double e = 2.0; e < 1e4; e *= 1.5) {
+    sum_smooth += ts.microscopic(e);
+    sum_res += tr.microscopic(e);
+  }
+  EXPECT_GT(sum_res, sum_smooth);
+}
+
+TEST(Synthetic, ScatterLevelIsOrderTensOfBarns) {
+  const auto t = make_scatter_table();
+  const double at_1mev = t.microscopic(1.0e6);
+  EXPECT_GT(at_1mev, 1.0);
+  EXPECT_LT(at_1mev, 200.0);
+}
+
+TEST(Synthetic, GridSpansConfiguredRange) {
+  SyntheticXsConfig cfg;
+  cfg.points = 100;
+  cfg.min_energy_ev = 1e-3;
+  cfg.max_energy_ev = 1e6;
+  const auto t = make_capture_table(cfg);
+  EXPECT_DOUBLE_EQ(t.min_energy(), 1e-3);
+  EXPECT_NEAR(t.max_energy(), 1e6, 1e-6);
+  EXPECT_EQ(t.size(), 100);
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+  SyntheticXsConfig cfg;
+  cfg.points = 1;
+  EXPECT_THROW(make_capture_table(cfg), Error);
+  cfg.points = 100;
+  cfg.min_energy_ev = -1.0;
+  EXPECT_THROW(make_scatter_table(cfg), Error);
+}
+
+TEST(Synthetic, CaptureAndScatterShareTheGrid) {
+  // The per-particle cached index is shared between the two tables, which
+  // requires identical energy grids (see Simulation constructor).
+  SyntheticXsConfig cfg;
+  cfg.points = 300;
+  const auto c = make_capture_table(cfg);
+  const auto s = make_scatter_table(cfg);
+  ASSERT_EQ(c.size(), s.size());
+  for (std::int32_t i = 0; i < c.size(); i += 37) {
+    EXPECT_DOUBLE_EQ(c.energy(i), s.energy(i));
+  }
+}
+
+}  // namespace
+}  // namespace neutral
