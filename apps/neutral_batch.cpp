@@ -1,0 +1,192 @@
+// `neutral_batch` — the batch execution engine CLI.
+//
+// Expands a parameter sweep into jobs, runs them concurrently on the
+// worker pool (sharing Worlds between jobs with identical geometry), and
+// prints a results table mirrored into CSV.
+//
+//   $ neutral_batch                         # built-in 12-job demo sweep
+//   $ neutral_batch --spec my_sweep.spec --workers 4 --csv out.csv
+//   $ neutral_batch --check-serial          # prove batch == serial physics
+//   $ neutral_batch --write-spec sweep.spec # emit the default spec to edit
+//
+// The oversubscription policy is workers x threads_per_job <= logical
+// cpus; both knobs derive sensible defaults from the host (see
+// batch/engine.h).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "batch/engine.h"
+#include "batch/sweep.h"
+#include "core/simulation.h"
+#include "io/results_io.h"
+#include "runtime/host_info.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace neutral;
+using namespace neutral::batch;
+
+// 2 schemes x 2 layouts x 3 problem sizes = 12 jobs on one shared world.
+constexpr const char* kDefaultSpec =
+    "# neutral_batch default sweep: 2 schemes x 2 layouts x 3 sizes\n"
+    "deck csp\n"
+    "mesh_scale 0.05\n"
+    "timesteps 1\n"
+    "seed 42\n"
+    "axis particles 2000 4000 8000\n"
+    "axis scheme particles events\n"
+    "axis layout aos soa\n";
+
+/// Re-run one outcome's exact config serially and compare checksums.
+/// Bit-exact by construction when the job ran with threads=1 (counter-based
+/// RNG + one OpenMP thread leave no reassociation freedom).
+bool check_against_serial(const JobOutcome& outcome) {
+  Simulation sim(outcome.config);
+  const RunResult serial = sim.run();
+  const bool same = serial.tally_checksum == outcome.result.tally_checksum &&
+                    serial.counters.total_events() ==
+                        outcome.result.counters.total_events();
+  if (!same) {
+    std::printf("  check FAIL %s: batch checksum %.17g != serial %.17g\n",
+                outcome.label.c_str(), outcome.result.tally_checksum,
+                serial.tally_checksum);
+  }
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    const std::string spec_path =
+        cli.option("spec", "", "sweep spec file (see src/batch/sweep.h)");
+    EngineOptions options;
+    options.workers = static_cast<std::int32_t>(
+        cli.option_int("workers", 0, "worker threads (0 = auto)"));
+    options.threads_per_job = static_cast<std::int32_t>(cli.option_int(
+        "threads-per-job", 0, "OpenMP threads per job (0 = auto)"));
+    options.queue_capacity = static_cast<std::size_t>(cli.option_int(
+        "queue-capacity", 0, "bounded queue depth (0 = auto)"));
+    options.reuse_worlds =
+        !cli.flag("no-cache", "rebuild the world for every job");
+    const std::string csv =
+        cli.option("csv", "neutral_batch.csv", "results CSV path");
+    const std::string record_dir = cli.option(
+        "record-dir", "", "write a .results regression record per job");
+    const std::string write_spec = cli.option(
+        "write-spec", "", "write the default sweep spec here and exit");
+    const bool check_serial = cli.flag(
+        "check-serial",
+        "re-run each job serially and compare checksums (pins jobs to 1 "
+        "thread: atomic tallies only reproduce bit-exactly single-threaded)");
+    const bool quiet = cli.flag("quiet", "suppress per-job progress lines");
+    if (!cli.finish()) return 0;
+
+    if (!write_spec.empty()) {
+      std::ofstream out(write_spec);
+      NEUTRAL_REQUIRE(out.good(), "cannot write '" + write_spec + "'");
+      out << kDefaultSpec;
+      std::printf("wrote %s\n", write_spec.c_str());
+      return 0;
+    }
+
+    // Bit-exact comparison requires one OpenMP thread per job: with more,
+    // atomic tally adds reorder between runs and checksums legitimately
+    // wobble in the last bits.
+    if (check_serial) options.threads_per_job = 1;
+
+    const SweepSpec spec = spec_path.empty() ? parse_sweep(kDefaultSpec)
+                                             : load_sweep(spec_path);
+    std::vector<Job> jobs = expand_sweep(spec);
+
+    BatchEngine engine(options);
+    const auto [workers, threads_per_job] =
+        engine.thread_budget(jobs.size());
+    std::printf("# neutral_batch (%s)\n", host_banner().c_str());
+    std::printf("# %zu jobs on %d workers x %d threads/job (queue %zu, "
+                "world cache %s)\n",
+                jobs.size(), workers, threads_per_job,
+                engine.queue_depth(workers),
+                options.reuse_worlds ? "on" : "off");
+
+    const BatchReport report = engine.run(
+        std::move(jobs), [&](const JobOutcome& outcome) {
+          if (quiet) return;
+          if (outcome.ok) {
+            std::printf("[worker %d] done %-44s %8.3fs  %10.3g ev/s%s\n",
+                        outcome.worker, outcome.label.c_str(),
+                        outcome.seconds,
+                        outcome.result.events_per_second(),
+                        outcome.world_cache_hit ? "  (cached world)" : "");
+          } else {
+            std::printf("[worker %d] FAIL %s: %s\n", outcome.worker,
+                        outcome.label.c_str(), outcome.error.c_str());
+          }
+        });
+
+    ResultTable table(
+        "neutral_batch — " + std::to_string(report.jobs.size()) + " jobs",
+        {"job", "label", "particles", "events", "events/s", "solve [s]",
+         "tally checksum", "world", "worker", "status"});
+    for (const JobOutcome& j : report.jobs) {
+      table.add_row(
+          {std::to_string(j.job_id), j.label,
+           ResultTable::cell(static_cast<long>(j.config.deck.n_particles)),
+           ResultTable::cell(static_cast<unsigned long long>(
+               j.result.counters.total_events())),
+           ResultTable::cell(j.result.events_per_second(), 3),
+           ResultTable::cell(j.seconds, 3),
+           ResultTable::cell(j.result.tally_checksum, 9),
+           j.world_cache_hit ? "cached" : "built",
+           std::to_string(j.worker), j.ok ? "ok" : ("FAIL: " + j.error)});
+    }
+    table.print();
+    table.write_csv(csv);
+    std::printf("wrote %s\n", csv.c_str());
+
+    std::printf("\n== batch report ==\n");
+    std::printf("jobs           : %zu completed, %zu failed\n",
+                report.completed(), report.failed());
+    std::printf("pool           : %d workers x %d threads/job\n",
+                report.workers, report.threads_per_job);
+    std::printf("wallclock      : %.3f s   (%.3g events/s aggregate)\n",
+                report.wall_seconds, report.events_per_second());
+    std::printf("world cache    : %llu hits / %llu misses (%.0f%% hit rate)\n",
+                static_cast<unsigned long long>(report.cache.hits),
+                static_cast<unsigned long long>(report.cache.misses),
+                100.0 * report.cache.hit_rate());
+
+    bool ok = report.failed() == 0;
+    if (!record_dir.empty()) {
+      for (const JobOutcome& j : report.jobs) {
+        if (!j.ok) continue;
+        save_results(make_expected(j.config, j.result),
+                     record_dir + "/job_" + std::to_string(j.job_id) +
+                         ".results");
+      }
+      std::printf("records        : wrote %zu .results files to %s\n",
+                  report.completed(), record_dir.c_str());
+    }
+    if (check_serial) {
+      std::size_t matched = 0;
+      for (const JobOutcome& j : report.jobs) {
+        if (j.ok && check_against_serial(j)) ++matched;
+      }
+      const bool all = matched == report.completed();
+      std::printf("serial check   : %zu/%zu jobs bit-identical to serial "
+                  "runs -> %s\n",
+                  matched, report.completed(), all ? "PASS" : "FAIL");
+      ok = ok && all;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "neutral_batch: %s\n", e.what());
+    return 2;
+  }
+}

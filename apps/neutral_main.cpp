@@ -25,49 +25,6 @@ namespace {
 
 using namespace neutral;
 
-Scheme parse_scheme(const std::string& s) {
-  if (s == "particles" || s == "over-particles") return Scheme::kOverParticles;
-  if (s == "events" || s == "over-events") return Scheme::kOverEvents;
-  throw Error("unknown scheme '" + s + "' (particles|events)");
-}
-
-Layout parse_layout(const std::string& s) {
-  if (s == "aos") return Layout::kAoS;
-  if (s == "soa") return Layout::kSoA;
-  throw Error("unknown layout '" + s + "' (aos|soa)");
-}
-
-TallyMode parse_tally(const std::string& s) {
-  if (s == "atomic") return TallyMode::kAtomic;
-  if (s == "privatized") return TallyMode::kPrivatized;
-  if (s == "merge-step") return TallyMode::kPrivatizedMergeEveryStep;
-  if (s == "deferred") return TallyMode::kDeferredAtomic;
-  throw Error("unknown tally mode '" + s +
-              "' (atomic|privatized|merge-step|deferred)");
-}
-
-XsLookup parse_lookup(const std::string& s) {
-  if (s == "binary") return XsLookup::kBinarySearch;
-  if (s == "cached") return XsLookup::kCachedLinear;
-  if (s == "bucketed") return XsLookup::kBucketedIndex;
-  throw Error("unknown lookup '" + s + "' (binary|cached|bucketed)");
-}
-
-SchedulePolicy parse_schedule(const std::string& s) {
-  if (s == "static") return SchedulePolicy::statics();
-  if (s == "dynamic") return SchedulePolicy::dynamic();
-  if (s == "guided") return SchedulePolicy::guided();
-  const auto comma = s.find(',');
-  if (comma != std::string::npos) {
-    const std::string kind = s.substr(0, comma);
-    const int chunk = std::stoi(s.substr(comma + 1));
-    if (kind == "static") return SchedulePolicy::static_chunk(chunk);
-    if (kind == "dynamic") return SchedulePolicy::dynamic(chunk);
-    if (kind == "guided") return SchedulePolicy::guided(chunk);
-  }
-  throw Error("unknown schedule '" + s + "' (static|dynamic|guided[,chunk])");
-}
-
 void print_report(const Simulation& sim, const RunResult& r) {
   const SimulationConfig& cfg = sim.config();
   std::printf("\n== neutral run report ==\n");
@@ -148,14 +105,14 @@ int main(int argc, char** argv) {
     const double particle_scale = cli.option_double(
         "particle-scale", 0.02, "particles vs the paper's 1e6/1e7");
     SimulationConfig config;
-    config.scheme = parse_scheme(
+    config.scheme = scheme_from_string(
         cli.option("scheme", "particles", "particles|events (§V)"));
-    config.layout = parse_layout(cli.option("layout", "aos", "aos|soa (§VI-D)"));
-    config.tally_mode = parse_tally(cli.option(
+    config.layout = layout_from_string(cli.option("layout", "aos", "aos|soa (§VI-D)"));
+    config.tally_mode = tally_mode_from_string(cli.option(
         "tally", "atomic", "atomic|privatized|merge-step|deferred (§VI-F/G)"));
-    config.lookup = parse_lookup(
+    config.lookup = lookup_from_string(
         cli.option("lookup", "cached", "binary|cached|bucketed (§VI-A)"));
-    config.schedule = parse_schedule(
+    config.schedule = schedule_from_string(
         cli.option("schedule", "static", "static|dynamic|guided[,chunk] (§VI-C)"));
     config.threads =
         static_cast<std::int32_t>(cli.option_int("threads", 0, "OpenMP threads (0 = default)"));

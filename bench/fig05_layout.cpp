@@ -2,10 +2,19 @@
 // (§VI-D).  The paper finds AoS faster on CPUs for every problem: a
 // history touches all of its particle's fields, so the record layout loads
 // one or two lines where SoA scatters across fourteen arrays.
+//
+// The layout grid is expanded by the batch sweep expander and executed by
+// the batch engine with a single worker — serial execution keeps the
+// timings honest, while the shared world cache means each problem's mesh,
+// density field and XS tables are built once and reused across both
+// layouts and every repetition.
+#include "batch/engine.h"
+#include "batch/sweep.h"
 #include "bench_common.h"
 
 using namespace neutral;
 using namespace neutral::bench;
+using namespace neutral::batch;
 
 int main(int argc, char** argv) {
   CliParser cli(argc, argv);
@@ -14,19 +23,37 @@ int main(int argc, char** argv) {
   if (!BenchScale::parse(cli, &scale)) return 0;
   const std::string csv = banner("fig05_layout", "Fig 5 (SoA vs AoS)", scale);
 
+  // One engine for the whole bench: worlds stay cached across problems
+  // and repetitions.  workers=1 serialises jobs so per-job seconds are
+  // comparable with the rest of the harness.
+  EngineOptions options;
+  options.workers = 1;
+  BatchEngine engine(options);
+
   ResultTable table("Fig 5 — Over Particles runtime by particle layout",
                     {"problem", "AoS [s]", "SoA [s]", "SoA/AoS"});
   for (const std::string name : {"stream", "scatter", "csp"}) {
-    SimulationConfig aos;
-    aos.deck = scale.deck(name);
-    aos.layout = Layout::kAoS;
-    SimulationConfig soa = aos;
-    soa.layout = Layout::kSoA;
-    const double t_aos = best_seconds(aos, scale.reps);
-    const double t_soa = best_seconds(soa, scale.reps);
-    table.add_row({name, ResultTable::cell(t_aos, 3),
-                   ResultTable::cell(t_soa, 3),
-                   ResultTable::cell(t_soa / t_aos, 3)});
+    SweepSpec spec;
+    spec.base.deck = scale.deck(name);
+    spec.axes.layouts = {Layout::kAoS, Layout::kSoA};
+
+    // Best-of-reps, matching bench_common's best_seconds.
+    double best_aos = 1.0e300;
+    double best_soa = 1.0e300;
+    for (int r = 0; r < scale.reps; ++r) {
+      const BatchReport report = engine.run(expand_sweep(spec));
+      if (report.failed() > 0) {
+        std::fprintf(stderr, "fig05_layout: job failed: %s\n",
+                     report.jobs[0].ok ? report.jobs[1].error.c_str()
+                                       : report.jobs[0].error.c_str());
+        return 1;
+      }
+      best_aos = std::min(best_aos, report.jobs[0].result.total_seconds);
+      best_soa = std::min(best_soa, report.jobs[1].result.total_seconds);
+    }
+    table.add_row({name, ResultTable::cell(best_aos, 3),
+                   ResultTable::cell(best_soa, 3),
+                   ResultTable::cell(best_soa / best_aos, 3)});
   }
 
   table.print();

@@ -1,0 +1,142 @@
+#include "batch/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "batch/queue.h"
+#include "runtime/host_info.h"
+#include "runtime/timer.h"
+#include "util/error.h"
+
+namespace neutral::batch {
+
+std::size_t BatchReport::completed() const {
+  std::size_t n = 0;
+  for (const JobOutcome& j : jobs) n += j.ok ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchReport::failed() const { return jobs.size() - completed(); }
+
+std::uint64_t BatchReport::total_events() const {
+  std::uint64_t n = 0;
+  for (const JobOutcome& j : jobs) {
+    if (j.ok) n += j.result.counters.total_events();
+  }
+  return n;
+}
+
+double BatchReport::events_per_second() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(total_events()) / wall_seconds
+             : 0.0;
+}
+
+BatchEngine::BatchEngine(EngineOptions options)
+    : options_(options), hw_concurrency_(probe_host().logical_cpus) {}
+
+std::pair<std::int32_t, std::int32_t> BatchEngine::thread_budget(
+    std::size_t n_jobs) const {
+  std::int32_t workers = options_.workers;
+  if (workers <= 0) {
+    workers = std::min<std::int32_t>(
+        hw_concurrency_, static_cast<std::int32_t>(std::max<std::size_t>(
+                             n_jobs, 1)));
+  }
+  workers = std::max<std::int32_t>(workers, 1);
+
+  // workers x threads_per_job <= hw_concurrency: fill the node, never
+  // oversubscribe it.
+  const std::int32_t budget = std::max<std::int32_t>(
+      1, hw_concurrency_ / workers);
+  std::int32_t threads = options_.threads_per_job;
+  threads = threads <= 0 ? budget : std::min(threads, budget);
+  return {workers, threads};
+}
+
+std::size_t BatchEngine::queue_depth(std::int32_t workers) const {
+  return options_.queue_capacity > 0
+             ? options_.queue_capacity
+             : std::max<std::size_t>(2 * static_cast<std::size_t>(workers),
+                                     16);
+}
+
+BatchReport BatchEngine::run(std::vector<Job> jobs,
+                             const CompletionCallback& on_complete) {
+  BatchReport report;
+  const auto [workers, threads_per_job] = thread_budget(jobs.size());
+  report.workers = workers;
+  report.threads_per_job = threads_per_job;
+  report.jobs.resize(jobs.size());
+  if (jobs.empty()) return report;
+
+  // Slot outcomes by submission order, keyed by job id.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    NEUTRAL_REQUIRE(slot_of.emplace(jobs[i].id, i).second,
+                    "duplicate job id in batch submission");
+    report.jobs[i].job_id = jobs[i].id;
+    report.jobs[i].label = jobs[i].label;
+  }
+
+  JobQueue queue(queue_depth(workers));
+  std::mutex report_mutex;
+  const WorldCache::Stats cache_before = cache_.stats();
+  WallTimer wall;
+
+  auto worker_loop = [&](std::int32_t worker_id) {
+    while (std::optional<Job> job = queue.pop()) {
+      JobOutcome outcome;
+      outcome.job_id = job->id;
+      outcome.label = job->label;
+      outcome.worker = worker_id;
+      WallTimer timer;
+      try {
+        SimulationConfig config = job->config;
+        if (config.threads <= 0) config.threads = threads_per_job;
+        std::shared_ptr<const World> world =
+            options_.reuse_worlds
+                ? cache_.acquire(config.deck, job->fingerprint,
+                                 &outcome.world_cache_hit)
+                : build_world(config.deck);
+        Simulation sim(std::move(config), std::move(world));
+        outcome.result = sim.run();
+        outcome.config = sim.config();
+        outcome.ok = true;
+      } catch (const std::exception& e) {
+        outcome.ok = false;
+        outcome.error = e.what();
+        outcome.config = job->config;
+      }
+      outcome.seconds = timer.seconds();
+
+      std::lock_guard<std::mutex> lock(report_mutex);
+      report.jobs[slot_of.at(outcome.job_id)] = outcome;
+      if (on_complete) on_complete(outcome);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker_loop, w);
+  }
+
+  // Submit from this thread so the bounded queue back-pressures the
+  // producer, then close to let workers drain and exit.
+  for (Job& job : jobs) queue.push(std::move(job));
+  queue.close();
+  for (std::thread& t : pool) t.join();
+
+  report.wall_seconds = wall.seconds();
+  const WorldCache::Stats cache_after = cache_.stats();
+  report.cache.hits = cache_after.hits - cache_before.hits;
+  report.cache.misses = cache_after.misses - cache_before.misses;
+  report.cache.evictions = cache_after.evictions - cache_before.evictions;
+  return report;
+}
+
+}  // namespace neutral::batch

@@ -1,0 +1,108 @@
+// Batch execution engine: run many jobs concurrently on a worker pool.
+//
+// The engine wires the batch pieces together: jobs flow through a bounded
+// priority JobQueue to N std::thread workers; each worker resolves its
+// job's World through the shared WorldCache, constructs a Simulation
+// against it, and runs with a nested OpenMP team of `threads_per_job`
+// threads.  Because OpenMP's nthreads setting is per host thread, worker
+// teams do not interfere: the node runs workers x threads_per_job hot
+// threads.
+//
+// Oversubscription policy: workers x threads_per_job <= hw_concurrency
+// (probe_host().logical_cpus).  Defaults derive one from the other, and
+// an explicit threads_per_job is clamped to the per-worker budget —
+// concurrency across jobs beats parallelism within one (the paper's load
+// imbalance means a lone job can't keep a node busy anyway).  An explicit
+// worker count is honoured as given, even beyond the cpu count (useful
+// for tests and I/O-bound jobs); threads_per_job then pins to 1.
+//
+// Determinism: a job's physics depends only on its SimulationConfig (the
+// RNG is counter-based, keyed by deck.seed — rng/stream.h), so per-job
+// results are invariant to worker count and completion order.  The report
+// lists outcomes in submission order regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "batch/world_cache.h"
+#include "core/simulation.h"
+
+namespace neutral::batch {
+
+struct EngineOptions {
+  /// Worker threads; 0 = min(logical cpus, job count).
+  std::int32_t workers = 0;
+  /// OpenMP threads per job; 0 = logical cpus / workers (>= 1).
+  std::int32_t threads_per_job = 0;
+  /// Bounded queue depth; 0 = max(2 x workers, 16).
+  std::size_t queue_capacity = 0;
+  /// Share Worlds between jobs with identical geometry.
+  bool reuse_worlds = true;
+};
+
+/// One finished (or failed) job.
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  std::string label;
+  SimulationConfig config;     ///< as executed (threads budget filled in)
+  RunResult result;            ///< default-constructed when !ok
+  double seconds = 0.0;        ///< wall clock including world acquisition
+  bool world_cache_hit = false;
+  std::int32_t worker = -1;    ///< which worker ran it
+  bool ok = false;
+  std::string error;           ///< exception message when !ok
+};
+
+/// Aggregate result of one BatchEngine::run().
+struct BatchReport {
+  std::vector<JobOutcome> jobs;  ///< submission order
+  double wall_seconds = 0.0;
+  std::int32_t workers = 0;
+  std::int32_t threads_per_job = 0;
+  WorldCache::Stats cache;       ///< this run's hits/misses/evictions
+
+  [[nodiscard]] std::size_t completed() const;
+  [[nodiscard]] std::size_t failed() const;
+  /// Sum of per-job transport events over the batch wall clock — the
+  /// node-throughput figure batching exists to maximise.
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] double events_per_second() const;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(EngineOptions options = {});
+
+  /// Serialised per-completion hook (called from worker threads under the
+  /// engine lock, so implementations need no locking of their own).
+  using CompletionCallback = std::function<void(const JobOutcome&)>;
+
+  /// Run every job to completion and return the aggregated report.
+  /// Job ids must be unique within the submission.  Safe to call
+  /// repeatedly; the world cache persists across runs.
+  BatchReport run(std::vector<Job> jobs,
+                  const CompletionCallback& on_complete = {});
+
+  /// The shared world cache (persists across run() calls).
+  [[nodiscard]] WorldCache& cache() { return cache_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// The (workers, threads_per_job) pair run() would use for `n_jobs`,
+  /// after applying the oversubscription policy.
+  [[nodiscard]] std::pair<std::int32_t, std::int32_t> thread_budget(
+      std::size_t n_jobs) const;
+
+  /// The bounded queue depth run() would use with `workers` workers.
+  [[nodiscard]] std::size_t queue_depth(std::int32_t workers) const;
+
+ private:
+  EngineOptions options_;
+  std::int32_t hw_concurrency_;
+  WorldCache cache_;
+};
+
+}  // namespace neutral::batch

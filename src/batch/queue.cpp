@@ -1,0 +1,64 @@
+#include "batch/queue.h"
+
+#include "util/error.h"
+
+namespace neutral::batch {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  NEUTRAL_REQUIRE(capacity > 0, "job queue capacity must be positive");
+}
+
+bool JobQueue::push_locked(Job&& job, std::unique_lock<std::mutex>& lock,
+                          bool blocking) {
+  if (blocking) {
+    not_full_.wait(lock,
+                   [&] { return closed_ || heap_.size() < capacity_; });
+  }
+  if (closed_ || heap_.size() >= capacity_) return false;
+  heap_.push(Entry{job.priority, next_sequence_++, std::move(job)});
+  not_empty_.notify_one();
+  return true;
+}
+
+bool JobQueue::push(Job job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return push_locked(std::move(job), lock, /*blocking=*/true);
+}
+
+bool JobQueue::try_push(Job job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return push_locked(std::move(job), lock, /*blocking=*/false);
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return std::nullopt;  // closed and drained
+  // priority_queue::top() is const; the move is safe because the entry is
+  // popped before anyone else can observe it.
+  Job job = std::move(const_cast<Entry&>(heap_.top()).job);
+  heap_.pop();
+  not_full_.notify_one();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+}  // namespace neutral::batch

@@ -1,0 +1,76 @@
+// Bounded MPMC job queue with priority ordering and graceful shutdown.
+//
+// The engine's producer pushes jobs while N workers pop; both sides block
+// on condition variables, so a bounded capacity applies back-pressure to
+// submission instead of buffering an entire sweep in memory.  Ordering is
+// by descending priority, FIFO within a priority level (a monotonic
+// sequence number breaks ties, so equal-priority jobs run in submission
+// order and the pop order is deterministic for a single consumer).
+//
+// Shutdown protocol: close() wakes everyone; pushes after close() are
+// refused, pops drain whatever is still queued and then return nullopt.
+// Workers therefore exit exactly when the queue is closed AND empty —
+// jobs in flight at close() still complete.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "batch/job.h"
+
+namespace neutral::batch {
+
+class JobQueue {
+ public:
+  /// `capacity` > 0: push() blocks while that many jobs are queued.
+  explicit JobQueue(std::size_t capacity);
+
+  /// Blocks while full.  Returns false (dropping `job`) iff the queue was
+  /// closed before space became available.
+  bool push(Job job);
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(Job job);
+
+  /// Blocks while empty.  Returns the highest-priority job, or nullopt
+  /// once the queue is closed and fully drained.
+  std::optional<Job> pop();
+
+  /// Refuse further pushes and wake all waiters; queued jobs stay poppable.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::int32_t priority;
+    std::uint64_t sequence;
+    Job job;
+  };
+  struct EntryOrder {
+    // std::priority_queue is a max-heap: "less" means "pops later".
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.sequence > b.sequence;  // earlier submission pops first
+    }
+  };
+
+  bool push_locked(Job&& job, std::unique_lock<std::mutex>& lock,
+                   bool blocking);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> heap_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace neutral::batch

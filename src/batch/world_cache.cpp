@@ -1,0 +1,61 @@
+#include "batch/world_cache.h"
+
+namespace neutral::batch {
+
+std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
+                                                 bool* hit) {
+  return acquire(deck, world_fingerprint(deck), hit);
+}
+
+std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
+                                                 std::uint64_t fingerprint,
+                                                 bool* hit) {
+  const std::uint64_t key = fingerprint;
+
+  Future future;
+  std::promise<std::shared_ptr<const World>> promise;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.misses;
+      builder = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+  if (hit != nullptr) *hit = !builder;
+
+  if (builder) {
+    try {
+      promise.set_value(build_world(deck));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);
+      ++stats_.evictions;
+    }
+  }
+  return future.get();  // rethrows a failed build for every waiter
+}
+
+WorldCache::Stats WorldCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t WorldCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void WorldCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace neutral::batch

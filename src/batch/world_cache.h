@@ -1,0 +1,68 @@
+// Shared world cache: one immutable World per distinct deck geometry.
+//
+// Jobs in a sweep typically differ in run-control knobs (particle count,
+// scheme, layout, seed) while sharing mesh + density + cross-section
+// tables; rebuilding those per job is the dominant setup cost and pure
+// waste.  The cache keys Worlds by world_fingerprint(deck) and hands out
+// shared_ptr<const World> — read-only by type, so any number of concurrent
+// Simulations can execute against one copy.
+//
+// Concurrency: each fingerprint maps to a shared_future.  The first
+// acquirer installs a promise and builds *outside* the cache lock (a 4000^2
+// build takes seconds — holding the lock would serialise unrelated builds);
+// later acquirers wait on the future.  A build that throws evicts its entry
+// so a subsequent acquire can retry.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/deck.h"
+#include "core/world.h"
+
+namespace neutral::batch {
+
+class WorldCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    ///< acquire() found an entry (built or building)
+    std::uint64_t misses = 0;  ///< acquire() had to build
+    std::uint64_t evictions = 0;  ///< failed builds removed
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  /// Return the world for `deck`, building it on first sight.  If `hit` is
+  /// non-null it reports whether this call reused an existing entry.
+  std::shared_ptr<const World> acquire(const ProblemDeck& deck,
+                                       bool* hit = nullptr);
+
+  /// Same, keyed by a precomputed world_fingerprint(deck) — the engine
+  /// uses the fingerprint Jobs carry from submission time so the hash
+  /// (which walks every deck region) is paid once per job, not per run.
+  std::shared_ptr<const World> acquire(const ProblemDeck& deck,
+                                       std::uint64_t fingerprint, bool* hit);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Number of cached (or in-flight) worlds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drop every entry; outstanding shared_ptrs stay valid.
+  void clear();
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const World>>;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Future> entries_;
+  Stats stats_;
+};
+
+}  // namespace neutral::batch

@@ -5,7 +5,6 @@
 #include "core/init.h"
 #include "runtime/timer.h"
 #include "util/error.h"
-#include "xs/synthetic.h"
 
 namespace neutral {
 
@@ -25,47 +24,77 @@ const char* to_string(Layout l) {
   return "?";
 }
 
-namespace {
-
-StructuredMesh2D make_mesh(const ProblemDeck& d) {
-  return StructuredMesh2D(d.nx, d.ny, d.width_cm, d.height_cm);
+Scheme scheme_from_string(const std::string& s) {
+  if (s == "particles" || s == "over-particles") return Scheme::kOverParticles;
+  if (s == "events" || s == "over-events") return Scheme::kOverEvents;
+  throw Error("unknown scheme '" + s + "' (particles|events)");
 }
 
-DensityField make_density(const StructuredMesh2D& mesh, const ProblemDeck& d) {
-  DensityField field(mesh, d.base_density_kg_m3);
-  for (const RegionSpec& r : d.regions) {
-    field.fill_rect(r.x0, r.y0, r.x1, r.y1, r.density_kg_m3);
+Layout layout_from_string(const std::string& s) {
+  if (s == "aos" || s == "AoS") return Layout::kAoS;
+  if (s == "soa" || s == "SoA") return Layout::kSoA;
+  throw Error("unknown layout '" + s + "' (aos|soa)");
+}
+
+TallyMode tally_mode_from_string(const std::string& s) {
+  if (s == "atomic") return TallyMode::kAtomic;
+  if (s == "privatized") return TallyMode::kPrivatized;
+  if (s == "merge-step") return TallyMode::kPrivatizedMergeEveryStep;
+  if (s == "deferred") return TallyMode::kDeferredAtomic;
+  throw Error("unknown tally mode '" + s +
+              "' (atomic|privatized|merge-step|deferred)");
+}
+
+XsLookup lookup_from_string(const std::string& s) {
+  if (s == "binary") return XsLookup::kBinarySearch;
+  if (s == "cached") return XsLookup::kCachedLinear;
+  if (s == "bucketed") return XsLookup::kBucketedIndex;
+  throw Error("unknown lookup '" + s + "' (binary|cached|bucketed)");
+}
+
+SchedulePolicy schedule_from_string(const std::string& s) {
+  const auto comma = s.find(',');
+  const std::string kind = comma == std::string::npos ? s : s.substr(0, comma);
+  std::int32_t chunk = 0;
+  if (comma != std::string::npos) {
+    try {
+      chunk = std::stoi(s.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw Error("bad schedule chunk in '" + s + "'");
+    }
   }
-  return field;
+  if (kind == "static") {
+    return chunk > 0 ? SchedulePolicy::static_chunk(chunk)
+                     : SchedulePolicy::statics();
+  }
+  if (kind == "dynamic") return SchedulePolicy::dynamic(chunk);
+  if (kind == "guided") return SchedulePolicy::guided(chunk);
+  throw Error("unknown schedule '" + s + "' (static|dynamic|guided[,chunk])");
 }
-
-}  // namespace
 
 Simulation::Simulation(SimulationConfig config)
+    : Simulation(std::move(config), nullptr) {}
+
+Simulation::Simulation(SimulationConfig config,
+                       std::shared_ptr<const World> world)
     : config_(std::move(config)),
-      mesh_(make_mesh(config_.deck)),
-      density_(make_density(mesh_, config_.deck)),
-      xs_capture_(make_capture_table(config_.deck.xs)),
-      xs_scatter_(make_scatter_table(config_.deck.xs)),
-      tally_(mesh_.num_cells(),
+      world_(world != nullptr ? std::move(world) : build_world(config_.deck)),
+      tally_(world_->mesh.num_cells(),
              config_.tally_mode,
              config_.threads > 0 ? config_.threads : omp_get_max_threads()) {
   NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
-  // The per-particle cached bin index is shared by both tables, which is
-  // only sound when their energy grids coincide (synthetic tables built
-  // from one config always do).
-  NEUTRAL_REQUIRE(xs_capture_.size() == xs_scatter_.size(),
-                  "capture/scatter tables must share an energy grid");
+  NEUTRAL_REQUIRE(world_->fingerprint == world_fingerprint(config_.deck),
+                  "shared world was built from a different deck geometry");
 
   if (config_.threads > 0) set_thread_count(config_.threads);
   if (config_.profile) {
     profiler_ = std::make_unique<PhaseProfiler>(omp_get_max_threads());
   }
 
-  ctx_.mesh = &mesh_;
-  ctx_.density = &density_;
-  ctx_.xs_capture = &xs_capture_;
-  ctx_.xs_scatter = &xs_scatter_;
+  ctx_.mesh = &world_->mesh;
+  ctx_.density = &world_->density;
+  ctx_.xs_capture = &world_->xs_capture;
+  ctx_.xs_scatter = &world_->xs_scatter;
   ctx_.tally = &tally_;
   ctx_.lookup = config_.lookup;
   ctx_.molar_mass_g_mol = config_.deck.molar_mass_g_mol;
@@ -79,10 +108,10 @@ Simulation::Simulation(SimulationConfig config)
   const auto n = static_cast<std::size_t>(config_.deck.n_particles);
   if (config_.layout == Layout::kAoS) {
     aos_.resize(n);
-    initialise_particles(AosView(aos_.data(), n), config_.deck, mesh_);
+    initialise_particles(AosView(aos_.data(), n), config_.deck, world_->mesh);
   } else {
     soa_.resize(n);
-    initialise_particles(SoaView(soa_), config_.deck, mesh_);
+    initialise_particles(SoaView(soa_), config_.deck, world_->mesh);
   }
   if (config_.scheme == Scheme::kOverEvents) {
     workspace_ = std::make_unique<OverEventsWorkspace>(n);

@@ -18,6 +18,7 @@
 #include "core/particle.h"
 #include "core/tally.h"
 #include "core/validation.h"
+#include "core/world.h"
 #include "mesh/density_field.h"
 #include "mesh/mesh2d.h"
 #include "perf/profiler.h"
@@ -37,6 +38,15 @@ enum class Layout : std::uint8_t {
   kSoA = 1,  ///< one array per field
 };
 const char* to_string(Layout l);
+
+/// Parse the user-facing names the CLI and sweep specs accept; throw
+/// neutral::Error listing the accepted spellings on anything else.
+Scheme scheme_from_string(const std::string& s);
+Layout layout_from_string(const std::string& s);
+TallyMode tally_mode_from_string(const std::string& s);
+XsLookup lookup_from_string(const std::string& s);
+/// "static|dynamic|guided[,chunk]" (also "static,chunk").
+SchedulePolicy schedule_from_string(const std::string& s);
 
 struct SimulationConfig {
   ProblemDeck deck;
@@ -80,7 +90,14 @@ struct RunResult {
 
 class Simulation {
  public:
+  /// Build the world (mesh + density + XS tables) from the deck and run
+  /// against it — the single-job path.
   explicit Simulation(SimulationConfig config);
+
+  /// Run against an existing world — the cheap-reuse path the batch engine
+  /// takes when many jobs share geometry.  `world` must have been built
+  /// from a deck with the same world_fingerprint as `config.deck`.
+  Simulation(SimulationConfig config, std::shared_ptr<const World> world);
 
   /// Advance one timestep and return its result.
   StepResult step();
@@ -93,8 +110,13 @@ class Simulation {
   [[nodiscard]] RunResult summary() const;
 
   [[nodiscard]] const SimulationConfig& config() const { return config_; }
-  [[nodiscard]] const StructuredMesh2D& mesh() const { return mesh_; }
-  [[nodiscard]] const DensityField& density() const { return density_; }
+  [[nodiscard]] const StructuredMesh2D& mesh() const { return world_->mesh; }
+  [[nodiscard]] const DensityField& density() const {
+    return world_->density;
+  }
+  [[nodiscard]] const std::shared_ptr<const World>& world() const {
+    return world_;
+  }
   [[nodiscard]] const EnergyTally& tally() const { return tally_; }
   [[nodiscard]] EnergyTally& tally() { return tally_; }
   [[nodiscard]] const PhaseProfiler* profiler() const {
@@ -110,10 +132,7 @@ class Simulation {
   StepResult step_soa();
 
   SimulationConfig config_;
-  StructuredMesh2D mesh_;
-  DensityField density_;
-  CrossSectionTable xs_capture_;
-  CrossSectionTable xs_scatter_;
+  std::shared_ptr<const World> world_;
   EnergyTally tally_;
   std::unique_ptr<PhaseProfiler> profiler_;
 

@@ -1,0 +1,91 @@
+#include "core/world.h"
+
+#include "util/error.h"
+#include "xs/synthetic.h"
+
+namespace neutral {
+
+namespace {
+
+StructuredMesh2D make_mesh(const ProblemDeck& d) {
+  return StructuredMesh2D(d.nx, d.ny, d.width_cm, d.height_cm);
+}
+
+DensityField make_density(const StructuredMesh2D& mesh, const ProblemDeck& d) {
+  DensityField field(mesh, d.base_density_kg_m3);
+  for (const RegionSpec& r : d.regions) {
+    field.fill_rect(r.x0, r.y0, r.x1, r.y1, r.density_kg_m3);
+  }
+  return field;
+}
+
+// splitmix64 finaliser: the same mixer validation.cpp uses for positional
+// checksums — cheap, well-distributed, and dependency-free.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class FingerprintHasher {
+ public:
+  void add_u64(std::uint64_t v) { state_ = mix(state_ ^ v); }
+  void add_i64(std::int64_t v) { add_u64(static_cast<std::uint64_t>(v)); }
+  void add_double(double v) {
+    // Hash the bit pattern: fingerprints must distinguish -0.0-style edge
+    // cases consistently, not by numeric comparison.
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    add_u64(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6e65757472616c00ull;  // "neutral\0"
+};
+
+}  // namespace
+
+World::World(const ProblemDeck& deck)
+    : mesh(make_mesh(deck)),
+      density(make_density(mesh, deck)),
+      xs_capture(make_capture_table(deck.xs)),
+      xs_scatter(make_scatter_table(deck.xs)),
+      fingerprint(world_fingerprint(deck)) {
+  // The per-particle cached bin index is shared by both tables, which is
+  // only sound when their energy grids coincide (synthetic tables built
+  // from one config always do).
+  NEUTRAL_REQUIRE(xs_capture.size() == xs_scatter.size(),
+                  "capture/scatter tables must share an energy grid");
+}
+
+std::shared_ptr<const World> build_world(const ProblemDeck& deck) {
+  return std::make_shared<const World>(deck);
+}
+
+std::uint64_t world_fingerprint(const ProblemDeck& deck) {
+  FingerprintHasher h;
+  h.add_i64(deck.nx);
+  h.add_i64(deck.ny);
+  h.add_double(deck.width_cm);
+  h.add_double(deck.height_cm);
+  h.add_double(deck.base_density_kg_m3);
+  h.add_u64(static_cast<std::uint64_t>(deck.regions.size()));
+  for (const RegionSpec& r : deck.regions) {
+    h.add_double(r.x0);
+    h.add_double(r.y0);
+    h.add_double(r.x1);
+    h.add_double(r.y1);
+    h.add_double(r.density_kg_m3);
+  }
+  h.add_i64(deck.xs.points);
+  h.add_double(deck.xs.min_energy_ev);
+  h.add_double(deck.xs.max_energy_ev);
+  h.add_i64(deck.xs.resonances);
+  h.add_u64(deck.xs.seed);
+  return h.value();
+}
+
+}  // namespace neutral

@@ -1,0 +1,51 @@
+// The immutable "world" a solve executes against: mesh + density field +
+// cross-section tables, bundled so many Simulations can share one copy.
+//
+// Building the world is the expensive, read-only part of Simulation setup
+// (a 4000^2 mesh is ~256 MB of edge/density/tally-shaped data and the
+// synthetic XS tables carry resonance construction); the particle bank and
+// tally are the cheap, mutable part.  Splitting them lets the batch engine
+// (src/batch) run many jobs against one cached world instead of rebuilding
+// identical geometry per job.
+//
+// A World is heap-allocated and pinned: DensityField stores a pointer to
+// its mesh, so the struct is neither copyable nor movable and is only
+// handed out as std::shared_ptr<const World>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/deck.h"
+#include "mesh/density_field.h"
+#include "mesh/mesh2d.h"
+#include "xs/table.h"
+
+namespace neutral {
+
+struct World {
+  explicit World(const ProblemDeck& deck);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  StructuredMesh2D mesh;
+  DensityField density;
+  CrossSectionTable xs_capture;
+  CrossSectionTable xs_scatter;
+
+  /// Fingerprint of the deck fields this world was built from (see
+  /// world_fingerprint); lets caches detect reuse without keeping the deck.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Build a world on the heap (the only way to obtain one).
+std::shared_ptr<const World> build_world(const ProblemDeck& deck);
+
+/// Hash of exactly the deck fields that determine the world: mesh geometry,
+/// density description and cross-section table shape.  Run-control fields
+/// (particles, seed, timesteps, cutoffs...) do not contribute, so decks that
+/// differ only in those share a fingerprint — and can share a World.
+std::uint64_t world_fingerprint(const ProblemDeck& deck);
+
+}  // namespace neutral

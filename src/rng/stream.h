@@ -28,6 +28,23 @@ constexpr double u01_open_below(std::uint64_t bits) {
   return 1.0 - u01(bits);
 }
 
+/// Derive an independent master seed for a job's RNG substream.
+///
+/// A batch of jobs expanded from one base seed must each behave exactly as
+/// if run alone: particle i of job j draws from the stream keyed
+/// (derive_stream_seed(base, j), i), so the substream depends only on
+/// (base seed, job id) — never on worker count, queue order or batch
+/// composition.  One Threefry block keyed by the base seed gives full
+/// 64-bit avalanche between consecutive job ids, unlike base+id arithmetic
+/// which would make job j's particle streams collide with job j+1's.
+constexpr std::uint64_t kStreamDeriveDomain = 0x62617463685f6964ull;  // "batch_id"
+
+inline std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                        std::uint64_t stream_id) {
+  return threefry2x64({stream_id, kStreamDeriveDomain},
+                      {base_seed, kStreamDeriveDomain})[0];
+}
+
 /// A resumable, counted stream of uniforms for one particle.
 ///
 /// One draw consumes one counter value (the second word of each Threefry

@@ -1,0 +1,478 @@
+// Tests for the batch execution engine: sweep expansion, the bounded
+// priority queue, the shared world cache, and end-to-end determinism of
+// batched runs against serial Simulation::run().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "batch/engine.h"
+#include "batch/queue.h"
+#include "batch/sweep.h"
+#include "batch/world_cache.h"
+#include "core/simulation.h"
+#include "rng/stream.h"
+#include "runtime/host_info.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+using batch::BatchEngine;
+using batch::BatchReport;
+using batch::EngineOptions;
+using batch::Job;
+using batch::JobOutcome;
+using batch::JobQueue;
+using batch::SweepSpec;
+using batch::WorldCache;
+
+ProblemDeck tiny_deck(std::int64_t particles = 400) {
+  ProblemDeck deck = csp_deck(/*mesh_scale=*/0.02, /*particle_scale=*/1.0);
+  deck.n_particles = particles;
+  return deck;
+}
+
+SimulationConfig tiny_config(std::int64_t particles = 400) {
+  SimulationConfig cfg;
+  cfg.deck = tiny_deck(particles);
+  cfg.threads = 1;
+  return cfg;
+}
+
+Job job_with_priority(std::uint64_t id, std::int32_t priority) {
+  return batch::make_job(id, tiny_config(), priority);
+}
+
+// ---------------------------------------------------------------------------
+// RNG substream derivation
+// ---------------------------------------------------------------------------
+
+TEST(StreamSeed, DerivationIsDeterministicAndSpreads) {
+  const std::uint64_t a = rng::derive_stream_seed(42, 0);
+  EXPECT_EQ(a, rng::derive_stream_seed(42, 0));
+  // Neighbouring job ids and neighbouring base seeds must not collide or
+  // correlate trivially (full-block Threefry, not arithmetic).
+  EXPECT_NE(a, rng::derive_stream_seed(42, 1));
+  EXPECT_NE(a, rng::derive_stream_seed(43, 0));
+  EXPECT_NE(rng::derive_stream_seed(42, 1) - a,
+            rng::derive_stream_seed(42, 2) - rng::derive_stream_seed(42, 1));
+}
+
+// ---------------------------------------------------------------------------
+// World fingerprint + cache
+// ---------------------------------------------------------------------------
+
+TEST(WorldFingerprint, IgnoresRunControlFields) {
+  ProblemDeck a = tiny_deck();
+  ProblemDeck b = a;
+  b.n_particles = 9999;
+  b.seed = 7;
+  b.n_timesteps = 3;
+  b.min_energy_ev = 2.0;
+  EXPECT_EQ(world_fingerprint(a), world_fingerprint(b));
+}
+
+TEST(WorldFingerprint, SensitiveToGeometryDensityAndXs) {
+  const ProblemDeck base = tiny_deck();
+  ProblemDeck mesh = base;
+  mesh.nx += 1;
+  ProblemDeck density = base;
+  density.base_density_kg_m3 *= 2.0;
+  ProblemDeck region = base;
+  region.regions[0].density_kg_m3 *= 2.0;
+  ProblemDeck xs = base;
+  xs.xs.points += 1;
+  EXPECT_NE(world_fingerprint(base), world_fingerprint(mesh));
+  EXPECT_NE(world_fingerprint(base), world_fingerprint(density));
+  EXPECT_NE(world_fingerprint(base), world_fingerprint(region));
+  EXPECT_NE(world_fingerprint(base), world_fingerprint(xs));
+}
+
+TEST(WorldCacheTest, HitAccountingAndSharing) {
+  WorldCache cache;
+  bool hit = true;
+  const auto first = cache.acquire(tiny_deck(100), &hit);
+  EXPECT_FALSE(hit);
+  // Same geometry, different run-control knobs: same world object.
+  const auto second = cache.acquire(tiny_deck(999), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+
+  ProblemDeck other = tiny_deck(100);
+  other.nx += 4;
+  other.ny += 4;
+  const auto third = cache.acquire(other, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(first.get(), third.get());
+
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(WorldCacheTest, FailedBuildEvictsAndRethrows) {
+  WorldCache cache;
+  ProblemDeck bad = tiny_deck();
+  bad.nx = 0;  // mesh construction rejects empty meshes
+  bad.ny = 0;
+  EXPECT_THROW(cache.acquire(bad), Error);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The poisoned entry is gone: a retry attempts a fresh build.
+  EXPECT_THROW(cache.acquire(bad), Error);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(WorldCacheTest, ConcurrentAcquireBuildsOnce) {
+  WorldCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const World>> worlds(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { worlds[static_cast<std::size_t>(t)] = cache.acquire(tiny_deck()); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(worlds[0].get(), worlds[static_cast<std::size_t>(t)].get());
+  }
+  const WorldCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Simulation world reuse
+// ---------------------------------------------------------------------------
+
+TEST(SharedWorld, ReusedWorldReproducesFreshWorldExactly) {
+  const SimulationConfig cfg = tiny_config();
+  Simulation fresh(cfg);
+  const RunResult a = fresh.run();
+
+  Simulation reused(cfg, fresh.world());
+  const RunResult b = reused.run();
+  EXPECT_EQ(a.tally_checksum, b.tally_checksum);
+  EXPECT_EQ(a.counters.total_events(), b.counters.total_events());
+  EXPECT_EQ(a.population, b.population);
+}
+
+TEST(SharedWorld, MismatchedWorldIsRejected) {
+  const SimulationConfig cfg = tiny_config();
+  Simulation fresh(cfg);
+  SimulationConfig other = cfg;
+  other.deck.nx += 4;
+  other.deck.ny += 4;
+  EXPECT_THROW(Simulation(other, fresh.world()), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Job queue
+// ---------------------------------------------------------------------------
+
+TEST(JobQueueTest, PopsByPriorityThenFifo) {
+  JobQueue queue(16);
+  ASSERT_TRUE(queue.try_push(job_with_priority(1, 0)));
+  ASSERT_TRUE(queue.try_push(job_with_priority(2, 5)));
+  ASSERT_TRUE(queue.try_push(job_with_priority(3, 5)));
+  ASSERT_TRUE(queue.try_push(job_with_priority(4, 1)));
+  queue.close();
+  EXPECT_EQ(queue.pop()->id, 2u);  // highest priority, submitted first
+  EXPECT_EQ(queue.pop()->id, 3u);  // same priority, FIFO
+  EXPECT_EQ(queue.pop()->id, 4u);
+  EXPECT_EQ(queue.pop()->id, 1u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(JobQueueTest, BoundedCapacityRefusesWhenFull) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.try_push(job_with_priority(1, 0)));
+  EXPECT_TRUE(queue.try_push(job_with_priority(2, 0)));
+  EXPECT_FALSE(queue.try_push(job_with_priority(3, 0)));
+  (void)queue.pop();
+  EXPECT_TRUE(queue.try_push(job_with_priority(3, 0)));
+}
+
+TEST(JobQueueTest, CloseRefusesPushesButDrainsInFlightJobs) {
+  JobQueue queue(8);
+  ASSERT_TRUE(queue.push(job_with_priority(1, 0)));
+  ASSERT_TRUE(queue.push(job_with_priority(2, 0)));
+  queue.close();
+  EXPECT_FALSE(queue.push(job_with_priority(3, 0)));
+  EXPECT_TRUE(queue.closed());
+  // Jobs queued before close() still pop.
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(JobQueueTest, ShutdownWakesBlockedConsumers) {
+  JobQueue queue(4);
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kJobs = 32;
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int t = 0; t < kConsumers; ++t) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < kJobs; ++i) {
+    // Blocking push: the capacity-4 queue back-pressures this producer
+    // while consumers are mid-"job".
+    ASSERT_TRUE(queue.push(job_with_priority(i, 0)));
+  }
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  // Every job pushed before close() was processed; nobody deadlocked.
+  EXPECT_EQ(popped.load(), kJobs);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep expansion
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, ExpandsCrossProductWithStableIds) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.axes.particles = {100, 200, 300};
+  spec.axes.schemes = {Scheme::kOverParticles, Scheme::kOverEvents};
+  spec.axes.layouts = {Layout::kAoS, Layout::kSoA};
+  ASSERT_EQ(batch::sweep_size(spec), 12u);
+
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  ASSERT_EQ(jobs.size(), 12u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, i);
+  }
+  // Row-major order: seeds/schedules innermost ... particles outermost.
+  EXPECT_EQ(jobs[0].config.deck.n_particles, 100);
+  EXPECT_EQ(jobs[0].config.scheme, Scheme::kOverParticles);
+  EXPECT_EQ(jobs[0].config.layout, Layout::kAoS);
+  EXPECT_EQ(jobs[1].config.layout, Layout::kSoA);
+  EXPECT_EQ(jobs[2].config.scheme, Scheme::kOverEvents);
+  EXPECT_EQ(jobs[4].config.deck.n_particles, 200);
+  // Identical geometry across the whole sweep: one world fingerprint.
+  for (const Job& job : jobs) {
+    EXPECT_EQ(job.fingerprint, jobs[0].fingerprint);
+  }
+  // Expansion is deterministic: same spec, same jobs.
+  const std::vector<Job> again = batch::expand_sweep(spec);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].config.deck.seed, again[i].config.deck.seed);
+    EXPECT_EQ(jobs[i].label, again[i].label);
+  }
+}
+
+TEST(Sweep, BatchSeedDerivesIndependentSubstreams) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.batch_seed = 99;
+  spec.axes.particles = {100, 200};
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.deck.seed, rng::derive_stream_seed(99, 0));
+  EXPECT_EQ(jobs[1].config.deck.seed, rng::derive_stream_seed(99, 1));
+  EXPECT_NE(jobs[0].config.deck.seed, jobs[1].config.deck.seed);
+}
+
+TEST(Sweep, ExplicitSeedAxisBeatsBatchSeed) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.batch_seed = 99;
+  spec.axes.seeds = {5, 6};
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.deck.seed, 5u);
+  EXPECT_EQ(jobs[1].config.deck.seed, 6u);
+}
+
+TEST(Sweep, OverEventsDefaultsToDeferredTally) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.axes.schemes = {Scheme::kOverParticles, Scheme::kOverEvents};
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.tally_mode, TallyMode::kAtomic);
+  EXPECT_EQ(jobs[1].config.tally_mode, TallyMode::kDeferredAtomic);
+}
+
+TEST(Sweep, MeshScaleAndNxAxesAreExclusive) {
+  SweepSpec spec;
+  spec.base = tiny_config();
+  spec.deck_name = "csp";
+  spec.axes.mesh_scales = {0.02, 0.04};
+  spec.axes.nx = {64};
+  EXPECT_THROW(batch::sweep_size(spec), Error);
+  EXPECT_THROW(batch::expand_sweep(spec), Error);
+}
+
+TEST(Sweep, ParsesSpecText) {
+  const SweepSpec spec = batch::parse_sweep(
+      "# demo\n"
+      "deck csp\n"
+      "mesh_scale 0.02\n"
+      "timesteps 2\n"
+      "particles 500\n"
+      "seed 7\n"
+      "layout soa\n"
+      "schedule dynamic,4\n"
+      "priority 3\n"
+      "axis particles 100 200\n"
+      "axis scheme particles events\n");
+  EXPECT_EQ(spec.deck_name, "csp");
+  EXPECT_EQ(spec.base.deck.nx, 80);  // 4000 * 0.02
+  EXPECT_EQ(spec.base.deck.n_timesteps, 2);
+  EXPECT_EQ(spec.base.deck.seed, 7u);
+  EXPECT_EQ(spec.base.layout, Layout::kSoA);
+  EXPECT_EQ(spec.base.schedule.kind, ScheduleKind::kDynamic);
+  EXPECT_EQ(spec.base.schedule.chunk, 4);
+  EXPECT_EQ(spec.priority, 3);
+  ASSERT_EQ(spec.axes.particles.size(), 2u);
+  ASSERT_EQ(spec.axes.schemes.size(), 2u);
+  EXPECT_EQ(batch::sweep_size(spec), 4u);
+
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  for (const Job& job : jobs) {
+    EXPECT_EQ(job.priority, 3);
+    EXPECT_EQ(job.config.deck.n_timesteps, 2);
+  }
+}
+
+TEST(Sweep, RejectsMalformedSpecs) {
+  EXPECT_THROW(batch::parse_sweep("bogus_key 1\n"), Error);
+  EXPECT_THROW(batch::parse_sweep("axis bogus 1 2\n"), Error);
+  EXPECT_THROW(batch::parse_sweep("nxq\n"), Error);
+  EXPECT_THROW(batch::parse_sweep("axis particles twelve\n"), Error);
+  EXPECT_THROW(batch::parse_sweep("deck csp\ndeck_file x.params\n"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ThreadBudgetNeverOversubscribes) {
+  EngineOptions options;
+  options.workers = 3;
+  options.threads_per_job = 64;  // absurd request: must be clamped
+  BatchEngine engine(options);
+  const auto [workers, threads] = engine.thread_budget(10);
+  const std::int32_t hw = probe_host().logical_cpus;
+  EXPECT_EQ(workers, 3);
+  EXPECT_LE(workers * threads, std::max(hw, workers));
+  EXPECT_GE(threads, 1);
+}
+
+TEST(Engine, ChecksumsInvariantAcrossWorkerCounts) {
+  SweepSpec spec;
+  spec.base = tiny_config(300);
+  spec.axes.particles = {100, 200, 300};
+  spec.axes.schemes = {Scheme::kOverParticles, Scheme::kOverEvents};
+
+  auto run_with_workers = [&](std::int32_t workers) {
+    EngineOptions options;
+    options.workers = workers;
+    options.threads_per_job = 1;
+    BatchEngine engine(options);
+    return engine.run(batch::expand_sweep(spec));
+  };
+
+  const BatchReport serial = run_with_workers(1);
+  const BatchReport wide = run_with_workers(4);
+  ASSERT_EQ(serial.jobs.size(), 6u);
+  ASSERT_EQ(wide.jobs.size(), 6u);
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    ASSERT_TRUE(serial.jobs[i].ok) << serial.jobs[i].error;
+    ASSERT_TRUE(wide.jobs[i].ok) << wide.jobs[i].error;
+    EXPECT_EQ(serial.jobs[i].job_id, wide.jobs[i].job_id);
+    EXPECT_EQ(serial.jobs[i].result.tally_checksum,
+              wide.jobs[i].result.tally_checksum);
+    EXPECT_EQ(serial.jobs[i].result.counters.total_events(),
+              wide.jobs[i].result.counters.total_events());
+  }
+
+  // ... and each matches the same config run directly through Simulation.
+  for (const JobOutcome& outcome : wide.jobs) {
+    Simulation sim(outcome.config);
+    EXPECT_EQ(sim.run().tally_checksum, outcome.result.tally_checksum);
+  }
+}
+
+TEST(Engine, ReportsWorldCacheHitsAndThroughput) {
+  SweepSpec spec;
+  spec.base = tiny_config(200);
+  spec.axes.layouts = {Layout::kAoS, Layout::kSoA};
+  spec.axes.particles = {100, 200};
+
+  EngineOptions options;
+  options.workers = 2;
+  options.threads_per_job = 1;
+  BatchEngine engine(options);
+  const BatchReport report = engine.run(batch::expand_sweep(spec));
+  EXPECT_EQ(report.completed(), 4u);
+  EXPECT_EQ(report.cache.hits + report.cache.misses, 4u);
+  EXPECT_EQ(report.cache.misses, 1u);  // one geometry, built once
+  EXPECT_GE(report.cache.hit_rate(), 0.74);
+  EXPECT_GT(report.total_events(), 0u);
+  EXPECT_GT(report.events_per_second(), 0.0);
+  EXPECT_EQ(report.workers, 2);
+
+  // A second run on the same engine reuses the cached world entirely.
+  const BatchReport again = engine.run(batch::expand_sweep(spec));
+  EXPECT_EQ(again.cache.misses, 0u);
+  EXPECT_EQ(again.cache.hits, 4u);
+}
+
+TEST(Engine, CompletionCallbackSeesEveryJob) {
+  SweepSpec spec;
+  spec.base = tiny_config(100);
+  spec.axes.particles = {100, 200, 300};
+  EngineOptions options;
+  options.workers = 2;
+  BatchEngine engine(options);
+  std::vector<std::uint64_t> seen;  // serialised callback: no lock needed
+  const BatchReport report =
+      engine.run(batch::expand_sweep(spec),
+                 [&](const JobOutcome& j) { seen.push_back(j.job_id); });
+  EXPECT_EQ(report.completed(), 3u);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Engine, FailedJobIsIsolated) {
+  std::vector<Job> jobs;
+  jobs.push_back(batch::make_job(0, tiny_config(100)));
+  SimulationConfig bad = tiny_config();
+  bad.deck.n_particles = 0;  // Simulation rejects an empty bank
+  jobs.push_back(batch::make_job(1, bad));
+  jobs.push_back(batch::make_job(2, tiny_config(200)));
+
+  EngineOptions options;
+  options.workers = 2;
+  BatchEngine engine(options);
+  const BatchReport report = engine.run(std::move(jobs));
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_TRUE(report.jobs[0].ok);
+  EXPECT_FALSE(report.jobs[1].ok);
+  EXPECT_FALSE(report.jobs[1].error.empty());
+  EXPECT_TRUE(report.jobs[2].ok);
+  EXPECT_EQ(report.failed(), 1u);
+}
+
+TEST(Engine, DuplicateJobIdsAreRejected) {
+  std::vector<Job> jobs;
+  jobs.push_back(batch::make_job(7, tiny_config(100)));
+  jobs.push_back(batch::make_job(7, tiny_config(200)));
+  BatchEngine engine;
+  EXPECT_THROW(engine.run(std::move(jobs)), Error);
+}
+
+}  // namespace
+}  // namespace neutral
