@@ -8,16 +8,24 @@
 //   $ neutral_batch --spec my_sweep.spec --workers 4 --csv out.csv
 //   $ neutral_batch --check-serial          # prove batch == serial physics
 //   $ neutral_batch --write-spec sweep.spec # emit the default spec to edit
+//   $ neutral_batch --shards 4              # fork-join every sweep job
 //
 // The oversubscription policy is workers x threads_per_job <= logical
 // cpus; both knobs derive sensible defaults from the host (see
 // batch/engine.h).
+//
+// --shards N splits every sweep job into N concurrent shard jobs and
+// reduces each group deterministically (src/batch/shard.h): the merged
+// checksum and population are bit-identical for any N >= 1 at any worker
+// count.  (Sharded runs use compensated tallies, so their checksums are
+// comparable across shard counts but not with the plain unsharded path.)
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "batch/engine.h"
+#include "batch/shard.h"
 #include "batch/sweep.h"
 #include "core/simulation.h"
 #include "io/results_io.h"
@@ -86,7 +94,15 @@ int main(int argc, char** argv) {
         "re-run each job serially and compare checksums (pins jobs to 1 "
         "thread: atomic tallies only reproduce bit-exactly single-threaded)");
     const bool quiet = cli.flag("quiet", "suppress per-job progress lines");
+    const auto shards = static_cast<std::int32_t>(cli.option_int(
+        "shards", 0,
+        "split every sweep job into N fork-join shard jobs (0 = off; any "
+        "N >= 1 reduces to bit-identical merged results)"));
+    const auto cache_mb = cli.option_int(
+        "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
     if (!cli.finish()) return 0;
+    options.cache.max_bytes =
+        static_cast<std::uint64_t>(std::max(cache_mb, 0L)) << 20;
 
     if (!write_spec.empty()) {
       std::ofstream out(write_spec);
@@ -103,9 +119,39 @@ int main(int argc, char** argv) {
 
     const SweepSpec spec = spec_path.empty() ? parse_sweep(kDefaultSpec)
                                              : load_sweep(spec_path);
-    std::vector<Job> jobs = expand_sweep(spec);
-
+    const std::vector<Job> sweep_jobs = expand_sweep(spec);
     BatchEngine engine(options);
+
+    // --shards: every sweep job becomes a fork-join group of shard jobs;
+    // groups are reduced back to one row each after the run.
+    std::vector<Job> jobs;
+    if (shards >= 1) {
+      // An explicit --threads-per-job must pass through the engine's
+      // oversubscription clamp before it is baked into shard configs —
+      // make_shard_jobs pins config.threads, which the worker loop then
+      // honours as given.
+      const std::int32_t threads_per_shard =
+          options.threads_per_job > 0
+              ? engine
+                    .thread_budget(sweep_jobs.size() *
+                                   static_cast<std::size_t>(shards))
+                    .second
+              : 0;
+      jobs.reserve(sweep_jobs.size() * static_cast<std::size_t>(shards));
+      for (const Job& job : sweep_jobs) {
+        ShardOptions shard_options;
+        shard_options.shards = shards;
+        shard_options.threads_per_shard = threads_per_shard;
+        shard_options.priority = job.priority;
+        shard_options.group = job.id + 1;  // non-zero, unique per group
+        std::vector<Job> group = make_shard_jobs(
+            job.config, shard_options,
+            job.id * static_cast<std::uint64_t>(shards), job.label + "/");
+        for (Job& shard_job : group) jobs.push_back(std::move(shard_job));
+      }
+    } else {
+      jobs = sweep_jobs;
+    }
     const auto [workers, threads_per_job] =
         engine.thread_budget(jobs.size());
     std::printf("# neutral_batch (%s)\n", host_banner().c_str());
@@ -114,6 +160,11 @@ int main(int argc, char** argv) {
                 jobs.size(), workers, threads_per_job,
                 engine.queue_depth(workers),
                 options.reuse_worlds ? "on" : "off");
+    if (shards >= 1) {
+      std::printf("# sharding: %zu sweep jobs x %d shards, deterministic "
+                  "reduction\n",
+                  sweep_jobs.size(), shards);
+    }
 
     const BatchReport report = engine.run(
         std::move(jobs), [&](const JobOutcome& outcome) {
@@ -130,37 +181,89 @@ int main(int argc, char** argv) {
           }
         });
 
-    ResultTable table(
-        "neutral_batch — " + std::to_string(report.jobs.size()) + " jobs",
-        {"job", "label", "particles", "events", "events/s", "solve [s]",
-         "tally checksum", "world", "worker", "status"});
-    for (const JobOutcome& j : report.jobs) {
-      table.add_row(
-          {std::to_string(j.job_id), j.label,
-           ResultTable::cell(static_cast<long>(j.config.deck.n_particles)),
-           ResultTable::cell(static_cast<unsigned long long>(
-               j.result.counters.total_events())),
-           ResultTable::cell(j.result.events_per_second(), 3),
-           ResultTable::cell(j.seconds, 3),
-           ResultTable::cell(j.result.tally_checksum, 9),
-           j.world_cache_hit ? "cached" : "built",
-           std::to_string(j.worker), j.ok ? "ok" : ("FAIL: " + j.error)});
+    if (shards >= 1) {
+      // Reduce each contiguous fork-join group back to one sweep row.
+      // plan_shards clamps tiny decks, so group sizes can differ.
+      ResultTable table(
+          "neutral_batch — " + std::to_string(sweep_jobs.size()) +
+              " sweep jobs x " + std::to_string(shards) + " shards",
+          {"job", "label", "particles", "shards", "events", "max shard [s]",
+           "imbalance", "tally checksum", "population", "status"});
+      std::size_t next = 0;
+      bool reduced_ok = true;
+      for (const Job& job : sweep_jobs) {
+        const std::size_t group_size = std::min<std::size_t>(
+            static_cast<std::size_t>(shards),
+            static_cast<std::size_t>(job.config.deck.n_particles));
+        const batch::GroupReduction group =
+            batch::reduce_outcome_group(&report.jobs.at(next), group_size);
+        next += group_size;
+
+        if (!group.ok) {
+          reduced_ok = false;
+          table.add_row({std::to_string(job.id), job.label,
+                         ResultTable::cell(
+                             static_cast<long>(job.config.deck.n_particles)),
+                         std::to_string(group_size), "-", "-", "-", "-", "-",
+                         "FAIL: " + group.error});
+          continue;
+        }
+        table.add_row(
+            {std::to_string(job.id), job.label,
+             ResultTable::cell(static_cast<long>(job.config.deck.n_particles)),
+             std::to_string(group_size),
+             ResultTable::cell(static_cast<unsigned long long>(
+                 group.merged.counters.total_events())),
+             ResultTable::cell(group.max_shard_seconds, 3),
+             ResultTable::cell(group.imbalance(), 2),
+             ResultTable::cell_full(group.merged.tally_checksum),
+             ResultTable::cell(static_cast<long>(group.merged.population)),
+             group.merged.budget.conserved(1e-9) ? "ok" : "NOT CONSERVED"});
+      }
+      table.print();
+      table.write_csv(csv);
+      std::printf("wrote %s\n", csv.c_str());
+      if (!reduced_ok) {
+        std::printf("sharding       : at least one group failed to reduce\n");
+      }
+    } else {
+      ResultTable table(
+          "neutral_batch — " + std::to_string(report.jobs.size()) + " jobs",
+          {"job", "label", "particles", "events", "events/s", "solve [s]",
+           "tally checksum", "world", "worker", "status"});
+      for (const JobOutcome& j : report.jobs) {
+        table.add_row(
+            {std::to_string(j.job_id), j.label,
+             ResultTable::cell(static_cast<long>(j.config.deck.n_particles)),
+             ResultTable::cell(static_cast<unsigned long long>(
+                 j.result.counters.total_events())),
+             ResultTable::cell(j.result.events_per_second(), 3),
+             ResultTable::cell(j.seconds, 3),
+             ResultTable::cell(j.result.tally_checksum, 9),
+             j.world_cache_hit ? "cached" : "built",
+             std::to_string(j.worker), j.ok ? "ok" : ("FAIL: " + j.error)});
+      }
+      table.print();
+      table.write_csv(csv);
+      std::printf("wrote %s\n", csv.c_str());
     }
-    table.print();
-    table.write_csv(csv);
-    std::printf("wrote %s\n", csv.c_str());
 
     std::printf("\n== batch report ==\n");
-    std::printf("jobs           : %zu completed, %zu failed\n",
-                report.completed(), report.failed());
+    std::printf("jobs           : %zu completed, %zu failed (%zu cancelled)\n",
+                report.completed(), report.failed(), report.cancelled());
     std::printf("pool           : %d workers x %d threads/job\n",
                 report.workers, report.threads_per_job);
     std::printf("wallclock      : %.3f s   (%.3g events/s aggregate)\n",
                 report.wall_seconds, report.events_per_second());
-    std::printf("world cache    : %llu hits / %llu misses (%.0f%% hit rate)\n",
+    std::printf("world cache    : %llu hits / %llu misses (%.0f%% hit rate), "
+                "%llu evictions; %llu worlds / %.1f MiB resident\n",
                 static_cast<unsigned long long>(report.cache.hits),
                 static_cast<unsigned long long>(report.cache.misses),
-                100.0 * report.cache.hit_rate());
+                100.0 * report.cache.hit_rate(),
+                static_cast<unsigned long long>(report.cache.evictions),
+                static_cast<unsigned long long>(report.cache.resident_worlds),
+                static_cast<double>(report.cache.resident_bytes) /
+                    (1 << 20));
 
     bool ok = report.failed() == 0;
     if (!record_dir.empty()) {

@@ -9,9 +9,11 @@
 //   $ neutral --deck my_problem.params --scheme events --tally deferred
 //   $ neutral --problem scatter --profile            # §VI-A grind table
 //   $ neutral --problem csp --heatmap out.ppm        # deposition image
+//   $ neutral --problem csp --shards 8               # fork-join one deck
 #include <cstdio>
 #include <string>
 
+#include "batch/shard.h"
 #include "core/simulation.h"
 #include "io/deck_io.h"
 #include "io/results_io.h"
@@ -25,8 +27,7 @@ namespace {
 
 using namespace neutral;
 
-void print_report(const Simulation& sim, const RunResult& r) {
-  const SimulationConfig& cfg = sim.config();
+void print_report(const SimulationConfig& cfg, const RunResult& r) {
   std::printf("\n== neutral run report ==\n");
   std::printf("problem        : %s  (%d x %d cells, %lld particles, %d "
               "timesteps)\n",
@@ -125,6 +126,13 @@ int main(int argc, char** argv) {
         cli.option("record", "", "write a .results regression record");
     const std::string verify =
         cli.option("verify", "", "verify against a .results record");
+    const auto shards = static_cast<std::int32_t>(cli.option_int(
+        "shards", 0,
+        "split the deck into N fork-join shard jobs (0 = run unsharded; "
+        "sharded runs use compensated tallies, so any N >= 1 reduces to "
+        "one bit-identical result)"));
+    const auto shard_workers = static_cast<std::int32_t>(cli.option_int(
+        "shard-workers", 0, "worker threads for sharded runs (0 = auto)"));
     if (!cli.finish()) return 0;
 
     config.deck = deck_file.empty()
@@ -140,13 +148,60 @@ int main(int argc, char** argv) {
     }
 
     std::printf("# neutral-mc (%s)\n", host_banner().c_str());
-    Simulation sim(config);
-    const RunResult result = sim.run();
-    print_report(sim, result);
-    if (config.profile) print_profile(sim, result);
-    if (!heatmap.empty()) {
-      write_heatmap_ppm(heatmap, sim.mesh(), sim.tally().data());
-      std::printf("heatmap        : wrote %s\n", heatmap.c_str());
+
+    RunResult result;
+    if (shards > 0) {
+      // Fork-join path: split the bank into shard jobs on a batch engine
+      // and reduce.  The merged checksum/population are invariant to the
+      // shard and worker counts (src/batch/shard.h).
+      if (config.profile) {
+        std::printf("note           : --profile is per-Simulation; ignored "
+                    "for sharded runs\n");
+        config.profile = false;
+      }
+      batch::EngineOptions engine_options;
+      engine_options.workers = shard_workers;
+      engine_options.threads_per_job = config.threads > 0 ? config.threads : 1;
+      batch::BatchEngine engine(engine_options);
+      batch::ShardOptions shard_options;
+      shard_options.shards = shards;
+      // Route an explicit --threads through the engine's oversubscription
+      // clamp instead of baking the raw value into every shard.
+      shard_options.threads_per_shard =
+          engine.thread_budget(static_cast<std::size_t>(shards)).second;
+      const batch::ShardedRunReport sharded =
+          batch::run_sharded(engine, config, shard_options);
+      NEUTRAL_REQUIRE(sharded.ok, sharded.error);
+      result = sharded.merged;
+      print_report(config, result);
+      std::printf("sharding       : %d shards on %d workers, %.4f s wall "
+                  "(%.3g events/s), imbalance %.2f\n",
+                  shards, sharded.batch.workers, sharded.wall_seconds,
+                  sharded.wall_seconds > 0.0
+                      ? static_cast<double>(result.counters.total_events()) /
+                            sharded.wall_seconds
+                      : 0.0,
+                  sharded.imbalance());
+      if (!heatmap.empty()) {
+        // The engine's cache still holds the world: reuse its mesh.
+        const auto world = engine.cache().acquire(config.deck);
+        write_heatmap_ppm(heatmap, world->mesh, result.tally->hi.data());
+        std::printf("heatmap        : wrote %s\n", heatmap.c_str());
+      }
+    } else {
+      Simulation sim(config);
+      result = sim.run();
+      print_report(config, result);
+      if (config.profile) print_profile(sim, result);
+      if (!heatmap.empty()) {
+        write_heatmap_ppm(heatmap, sim.mesh(), sim.tally().data());
+        std::printf("heatmap        : wrote %s\n", heatmap.c_str());
+      }
+    }
+    if (shards > 0 && (!record.empty() || !verify.empty())) {
+      std::printf("note           : sharded runs use the compensated tally "
+                  "pipeline; their records/checksums only compare against "
+                  "other sharded runs, not the plain path\n");
     }
     if (!record.empty()) {
       save_results(make_expected(config, result), record);

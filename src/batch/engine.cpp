@@ -20,6 +20,12 @@ std::size_t BatchReport::completed() const {
 
 std::size_t BatchReport::failed() const { return jobs.size() - completed(); }
 
+std::size_t BatchReport::cancelled() const {
+  std::size_t n = 0;
+  for (const JobOutcome& j : jobs) n += j.cancelled ? 1 : 0;
+  return n;
+}
+
 std::uint64_t BatchReport::total_events() const {
   std::uint64_t n = 0;
   for (const JobOutcome& j : jobs) {
@@ -35,7 +41,9 @@ double BatchReport::events_per_second() const {
 }
 
 BatchEngine::BatchEngine(EngineOptions options)
-    : options_(options), hw_concurrency_(probe_host().logical_cpus) {}
+    : options_(options),
+      hw_concurrency_(probe_host().logical_cpus),
+      cache_(options.cache) {}
 
 std::pair<std::int32_t, std::int32_t> BatchEngine::thread_budget(
     std::size_t n_jobs) const {
@@ -87,6 +95,27 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   const WorldCache::Stats cache_before = cache_.stats();
   WallTimer wall;
 
+  // Record one outcome (and, for failures of a grouped job, the cancelled
+  // outcomes of its unrun siblings) under the report lock.
+  auto record = [&](JobOutcome&& outcome) {
+    std::lock_guard<std::mutex> lock(report_mutex);
+    const std::size_t slot = slot_of.at(outcome.job_id);
+    report.jobs[slot] = std::move(outcome);
+    if (on_complete) on_complete(report.jobs[slot]);
+  };
+
+  auto cancelled_outcome = [](std::uint64_t id, std::string label,
+                              SimulationConfig config, std::string error) {
+    JobOutcome outcome;
+    outcome.job_id = id;
+    outcome.label = std::move(label);
+    outcome.config = std::move(config);
+    outcome.ok = false;
+    outcome.cancelled = true;
+    outcome.error = std::move(error);
+    return outcome;
+  };
+
   auto worker_loop = [&](std::int32_t worker_id) {
     while (std::optional<Job> job = queue.pop()) {
       JobOutcome outcome;
@@ -113,9 +142,18 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       }
       outcome.seconds = timer.seconds();
 
-      std::lock_guard<std::mutex> lock(report_mutex);
-      report.jobs[slot_of.at(outcome.job_id)] = outcome;
-      if (on_complete) on_complete(outcome);
+      const bool failed = !outcome.ok;
+      const std::uint64_t failed_id = outcome.job_id;
+      const std::uint64_t group = job->group;
+      record(std::move(outcome));
+      if (failed && group != 0 && options_.cancel_failed_groups) {
+        for (Job& sibling : queue.cancel_pending(group)) {
+          record(cancelled_outcome(
+              sibling.id, std::move(sibling.label), std::move(sibling.config),
+              "cancelled: sibling job " + std::to_string(failed_id) +
+                  " failed"));
+        }
+      }
     }
   };
 
@@ -126,8 +164,21 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   }
 
   // Submit from this thread so the bounded queue back-pressures the
-  // producer, then close to let workers drain and exit.
-  for (Job& job : jobs) queue.push(std::move(job));
+  // producer, then close to let workers drain and exit.  A push refused
+  // because the job's group was cancelled mid-submission records the job
+  // as cancelled (the queue remembers poisoned groups).
+  for (Job& job : jobs) {
+    const std::uint64_t id = job.id;
+    const std::uint64_t group = job.group;
+    std::string label = job.label;
+    SimulationConfig config = job.config;
+    if (!queue.push(std::move(job)) && queue.group_cancelled(group)) {
+      record(cancelled_outcome(id, std::move(label), std::move(config),
+                               "cancelled: submission refused, group " +
+                                   std::to_string(group) +
+                                   " already failed"));
+    }
+  }
   queue.close();
   for (std::thread& t : pool) t.join();
 
@@ -136,6 +187,8 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   report.cache.hits = cache_after.hits - cache_before.hits;
   report.cache.misses = cache_after.misses - cache_before.misses;
   report.cache.evictions = cache_after.evictions - cache_before.evictions;
+  report.cache.resident_worlds = cache_after.resident_worlds;
+  report.cache.resident_bytes = cache_after.resident_bytes;
   return report;
 }
 

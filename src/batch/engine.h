@@ -42,6 +42,12 @@ struct EngineOptions {
   std::size_t queue_capacity = 0;
   /// Share Worlds between jobs with identical geometry.
   bool reuse_worlds = true;
+  /// World cache byte budget / eviction policy.
+  WorldCacheOptions cache;
+  /// When a grouped job (Job::group != 0) fails, cancel its still-pending
+  /// siblings instead of running them to completion — a failed shard's
+  /// fork-join result is already lost, so its siblings are pure waste.
+  bool cancel_failed_groups = true;
 };
 
 /// One finished (or failed) job.
@@ -52,8 +58,9 @@ struct JobOutcome {
   RunResult result;            ///< default-constructed when !ok
   double seconds = 0.0;        ///< wall clock including world acquisition
   bool world_cache_hit = false;
-  std::int32_t worker = -1;    ///< which worker ran it
+  std::int32_t worker = -1;    ///< which worker ran it (-1: never ran)
   bool ok = false;
+  bool cancelled = false;      ///< removed unrun after a sibling failed
   std::string error;           ///< exception message when !ok
 };
 
@@ -63,10 +70,14 @@ struct BatchReport {
   double wall_seconds = 0.0;
   std::int32_t workers = 0;
   std::int32_t threads_per_job = 0;
-  WorldCache::Stats cache;       ///< this run's hits/misses/evictions
+  /// This run's hit/miss/eviction deltas plus the cache's current resident
+  /// set (worlds and estimated bytes) at the end of the run.
+  WorldCache::Stats cache;
 
   [[nodiscard]] std::size_t completed() const;
   [[nodiscard]] std::size_t failed() const;
+  /// Subset of failed(): jobs cancelled unrun after a sibling failed.
+  [[nodiscard]] std::size_t cancelled() const;
   /// Sum of per-job transport events over the batch wall clock — the
   /// node-throughput figure batching exists to maximise.
   [[nodiscard]] std::uint64_t total_events() const;

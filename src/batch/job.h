@@ -19,6 +19,10 @@ namespace neutral::batch {
 struct Job {
   /// Stable identifier, unique within one batch submission.
   std::uint64_t id = 0;
+  /// Fork-join group; 0 = ungrouped.  When a grouped job fails, the engine
+  /// cancels its still-pending siblings (JobQueue::cancel_pending) instead
+  /// of letting them waste the pool.
+  std::uint64_t group = 0;
   /// Higher-priority jobs pop from the queue first; ties are FIFO.
   std::int32_t priority = 0;
   /// Short human label for report rows ("csp/over-events/SoA/n=4000").

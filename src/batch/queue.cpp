@@ -10,14 +10,54 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
 
 bool JobQueue::push_locked(Job&& job, std::unique_lock<std::mutex>& lock,
                           bool blocking) {
+  const std::uint64_t group = job.group;
+  auto cancelled = [&] {
+    return group != 0 && cancelled_groups_.count(group) != 0;
+  };
   if (blocking) {
-    not_full_.wait(lock,
-                   [&] { return closed_ || heap_.size() < capacity_; });
+    not_full_.wait(lock, [&] {
+      return closed_ || cancelled() || heap_.size() < capacity_;
+    });
   }
-  if (closed_ || heap_.size() >= capacity_) return false;
+  if (closed_ || cancelled() || heap_.size() >= capacity_) return false;
   heap_.push(Entry{job.priority, next_sequence_++, std::move(job)});
   not_empty_.notify_one();
   return true;
+}
+
+std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
+  std::vector<Job> removed;
+  if (group == 0) return removed;  // 0 = ungrouped, nothing to cancel
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_groups_.insert(group);
+    if (!heap_.empty()) {
+      // std::priority_queue cannot remove from the middle: drain and
+      // rebuild.  Sequence numbers are preserved, so survivors keep their
+      // FIFO order within each priority level.
+      std::vector<Entry> keep;
+      keep.reserve(heap_.size());
+      while (!heap_.empty()) {
+        Entry e = std::move(const_cast<Entry&>(heap_.top()));
+        heap_.pop();
+        if (e.job.group == group) {
+          removed.push_back(std::move(e.job));
+        } else {
+          keep.push_back(std::move(e));
+        }
+      }
+      for (Entry& e : keep) heap_.push(std::move(e));
+    }
+  }
+  // Removing jobs frees capacity; a cancelled group also unblocks its own
+  // producer, which must observe the refusal.
+  not_full_.notify_all();
+  return removed;
+}
+
+bool JobQueue::group_cancelled(std::uint64_t group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return group != 0 && cancelled_groups_.count(group) != 0;
 }
 
 bool JobQueue::push(Job job) {

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "batch/job.h"
@@ -43,7 +44,15 @@ class JobQueue {
   /// Refuse further pushes and wake all waiters; queued jobs stay poppable.
   void close();
 
+  /// Remove every still-queued job of `group` (0 is ungrouped and a no-op)
+  /// and remember the group as cancelled: later pushes of its jobs are
+  /// refused, so a producer mid-submission cannot resurrect it.  Jobs of
+  /// the group already popped are unaffected.  Returns the removed jobs so
+  /// the caller can record their outcomes.
+  std::vector<Job> cancel_pending(std::uint64_t group);
+
   [[nodiscard]] bool closed() const;
+  [[nodiscard]] bool group_cancelled(std::uint64_t group) const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
@@ -69,6 +78,7 @@ class JobQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::priority_queue<Entry, std::vector<Entry>, EntryOrder> heap_;
+  std::unordered_set<std::uint64_t> cancelled_groups_;
   std::uint64_t next_sequence_ = 0;
   bool closed_ = false;
 };

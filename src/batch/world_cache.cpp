@@ -2,6 +2,8 @@
 
 namespace neutral::batch {
 
+WorldCache::WorldCache(WorldCacheOptions options) : options_(options) {}
+
 std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
                                                  bool* hit) {
   return acquire(deck, world_fingerprint(deck), hit);
@@ -20,19 +22,30 @@ std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      future = it->second;
+      it->second.last_use = ++tick_;
+      future = it->second.future;
     } else {
       ++stats_.misses;
       builder = true;
       future = promise.get_future().share();
-      entries_.emplace(key, future);
+      entries_.emplace(key, Entry{future, ++tick_, 0, false});
     }
   }
   if (hit != nullptr) *hit = !builder;
 
   if (builder) {
     try {
-      promise.set_value(build_world(deck));
+      std::shared_ptr<const World> world = build_world(deck);
+      const std::uint64_t bytes = world->footprint_bytes();
+      promise.set_value(std::move(world));
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {  // clear() may have raced us
+        it->second.bytes = bytes;
+        it->second.built = true;
+        resident_bytes_ += bytes;
+        evict_over_budget_locked(key);
+      }
     } catch (...) {
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mutex_);
@@ -43,9 +56,34 @@ std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
   return future.get();  // rethrows a failed build for every waiter
 }
 
+void WorldCache::evict_over_budget_locked(std::uint64_t protect) {
+  if (options_.max_bytes == 0) return;
+  while (resident_bytes_ > options_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.built || it->first == protect) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // only in-flight/protected left
+    resident_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
 WorldCache::Stats WorldCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.resident_bytes = resident_bytes_;
+  snapshot.resident_worlds = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry.built) ++snapshot.resident_worlds;
+  }
+  return snapshot;
 }
 
 std::size_t WorldCache::size() const {
@@ -56,6 +94,7 @@ std::size_t WorldCache::size() const {
 void WorldCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  resident_bytes_ = 0;
 }
 
 }  // namespace neutral::batch

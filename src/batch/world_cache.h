@@ -12,6 +12,13 @@
 // build takes seconds — holding the lock would serialise unrelated builds);
 // later acquirers wait on the future.  A build that throws evicts its entry
 // so a subsequent acquire can retry.
+//
+// Capacity: an optional byte budget (WorldCacheOptions::max_bytes) bounds
+// the resident set for many-geometry batches.  When a finished build tips
+// the total over budget, least-recently-acquired *built* entries are
+// dropped until it fits (the entry just built is never its own victim, so
+// a single over-budget world still caches).  Eviction only releases the
+// cache's reference — outstanding shared_ptrs stay valid.
 #pragma once
 
 #include <cstdint>
@@ -25,18 +32,27 @@
 
 namespace neutral::batch {
 
+struct WorldCacheOptions {
+  /// Resident-byte budget for cached worlds; 0 = unbounded.
+  std::uint64_t max_bytes = 0;
+};
+
 class WorldCache {
  public:
   struct Stats {
     std::uint64_t hits = 0;    ///< acquire() found an entry (built or building)
     std::uint64_t misses = 0;  ///< acquire() had to build
-    std::uint64_t evictions = 0;  ///< failed builds removed
+    std::uint64_t evictions = 0;  ///< entries dropped (failed builds + LRU)
+    std::uint64_t resident_worlds = 0;  ///< entries currently cached
+    std::uint64_t resident_bytes = 0;   ///< estimated bytes currently cached
 
     [[nodiscard]] double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total > 0 ? static_cast<double>(hits) / total : 0.0;
     }
   };
+
+  explicit WorldCache(WorldCacheOptions options = {});
 
   /// Return the world for `deck`, building it on first sight.  If `hit` is
   /// non-null it reports whether this call reused an existing entry.
@@ -50,6 +66,7 @@ class WorldCache {
                                        std::uint64_t fingerprint, bool* hit);
 
   [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const WorldCacheOptions& options() const { return options_; }
 
   /// Number of cached (or in-flight) worlds.
   [[nodiscard]] std::size_t size() const;
@@ -60,8 +77,22 @@ class WorldCache {
  private:
   using Future = std::shared_future<std::shared_ptr<const World>>;
 
+  struct Entry {
+    Future future;
+    std::uint64_t last_use = 0;  ///< monotonic acquire tick (LRU order)
+    std::uint64_t bytes = 0;     ///< 0 while the build is in flight
+    bool built = false;
+  };
+
+  /// Drop LRU built entries until the budget holds; `protect` (the entry
+  /// that just finished building) is never evicted.  Caller holds mutex_.
+  void evict_over_budget_locked(std::uint64_t protect);
+
+  WorldCacheOptions options_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Future> entries_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t resident_bytes_ = 0;
   Stats stats_;
 };
 

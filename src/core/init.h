@@ -18,20 +18,28 @@
 
 namespace neutral {
 
-/// Populate `v` (already sized to deck.n_particles) with the deck's source.
-/// Particles are born in state kCensus: the driver flips them to kAlive and
-/// assigns dt at the start of each timestep.
+/// Populate `v` with the deck's source, starting at particle id `first_id`:
+/// local index i becomes global particle id first_id + i, and every birth
+/// draw comes from that id's own counter-based stream.  A shard holding ids
+/// [first_id, first_id + v.size()) therefore sources particles identical to
+/// the same ids of the full bank — the basis of single-deck sharding
+/// (src/batch/shard.h).  Particles are born in state kCensus: the driver
+/// flips them to kAlive and assigns dt at the start of each timestep.
 template <class View>
 void initialise_particles(const View& v, const ProblemDeck& deck,
-                          const StructuredMesh2D& mesh) {
-  NEUTRAL_REQUIRE(static_cast<std::int64_t>(v.size()) == deck.n_particles,
-                  "particle container must match deck.n_particles");
+                          const StructuredMesh2D& mesh,
+                          std::int64_t first_id = 0) {
+  NEUTRAL_REQUIRE(first_id >= 0, "first particle id must be non-negative");
+  NEUTRAL_REQUIRE(
+      first_id + static_cast<std::int64_t>(v.size()) <= deck.n_particles,
+      "particle span must fit inside deck.n_particles");
   NEUTRAL_REQUIRE(deck.src_x1 >= deck.src_x0 && deck.src_y1 >= deck.src_y0,
                   "source rectangle must be well-formed");
   const auto n = static_cast<std::int64_t>(v.size());
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < n; ++i) {
-    rng::ParticleStream stream(deck.seed, static_cast<std::uint64_t>(i));
+    const auto gid = static_cast<std::uint64_t>(first_id + i);
+    rng::ParticleStream stream(deck.seed, gid);
     // Fixed draw order: x, y, angle, mfp — 4 draws; the history resumes the
     // stream from counter 4.
     const double x = stream.next_range(deck.src_x0, deck.src_x1);
@@ -53,14 +61,21 @@ void initialise_particles(const View& v, const ProblemDeck& deck,
     v.xs_index(i) = 0;
     v.state(i) = ParticleState::kCensus;
     v.rng_counter(i) = stream.counter();
-    v.id(i) = static_cast<std::uint64_t>(i);
+    v.id(i) = gid;
   }
 }
 
-/// Total weighted energy in the source bank [eV] — the conserved quantity.
-inline double initial_bank_energy(const ProblemDeck& deck) {
-  return static_cast<double>(deck.n_particles) * deck.initial_weight *
+/// Weighted energy of `count` source particles [eV] — the conserved
+/// quantity of a (possibly sharded) bank.
+inline double initial_bank_energy(const ProblemDeck& deck,
+                                  std::int64_t count) {
+  return static_cast<double>(count) * deck.initial_weight *
          deck.initial_energy_ev;
+}
+
+/// Total weighted energy in the full source bank [eV].
+inline double initial_bank_energy(const ProblemDeck& deck) {
+  return initial_bank_energy(deck, deck.n_particles);
 }
 
 }  // namespace neutral

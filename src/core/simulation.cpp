@@ -78,11 +78,17 @@ Simulation::Simulation(SimulationConfig config)
 Simulation::Simulation(SimulationConfig config,
                        std::shared_ptr<const World> world)
     : config_(std::move(config)),
+      span_{config_.span.first_id,
+            config_.span.resolved_count(config_.deck.n_particles)},
       world_(world != nullptr ? std::move(world) : build_world(config_.deck)),
       tally_(world_->mesh.num_cells(),
              config_.tally_mode,
-             config_.threads > 0 ? config_.threads : omp_get_max_threads()) {
+             config_.threads > 0 ? config_.threads : omp_get_max_threads(),
+             config_.compensated_tally) {
   NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
+  NEUTRAL_REQUIRE(span_.first_id >= 0 && span_.count > 0 &&
+                      span_.first_id + span_.count <= config_.deck.n_particles,
+                  "particle span must be a non-empty slice of the deck bank");
   NEUTRAL_REQUIRE(world_->fingerprint == world_fingerprint(config_.deck),
                   "shared world was built from a different deck geometry");
 
@@ -105,13 +111,15 @@ Simulation::Simulation(SimulationConfig config,
   ctx_.seed = config_.deck.seed;
   ctx_.profiler = profiler_.get();
 
-  const auto n = static_cast<std::size_t>(config_.deck.n_particles);
+  const auto n = static_cast<std::size_t>(span_.count);
   if (config_.layout == Layout::kAoS) {
     aos_.resize(n);
-    initialise_particles(AosView(aos_.data(), n), config_.deck, world_->mesh);
+    initialise_particles(AosView(aos_.data(), n), config_.deck, world_->mesh,
+                         span_.first_id);
   } else {
     soa_.resize(n);
-    initialise_particles(SoaView(soa_), config_.deck, world_->mesh);
+    initialise_particles(SoaView(soa_), config_.deck, world_->mesh,
+                         span_.first_id);
   }
   if (config_.scheme == Scheme::kOverEvents) {
     workspace_ = std::make_unique<OverEventsWorkspace>(n);
@@ -190,7 +198,7 @@ RunResult Simulation::summary() const {
 
   // Budget requires merged tallies; merge is safe/idempotent here.
   const_cast<EnergyTally&>(tally_).merge();
-  r.budget.initial = initial_bank_energy(config_.deck);
+  r.budget.initial = initial_bank_energy(config_.deck, span_.count);
   r.budget.released = accumulated_.released_energy;
   r.budget.in_flight = bank_in_flight_energy();
   r.budget.tally_total = tally_.total();
@@ -200,7 +208,35 @@ RunResult Simulation::summary() const {
   r.tally_checksum = positional_checksum(tally_.data(), tally_.cells());
   r.population = surviving_population();
   r.tally_footprint_bytes = tally_.footprint_bytes();
+  if (config_.keep_tally_image) {
+    r.tally = std::make_shared<const TallyImage>(tally_.image());
+  }
   return r;
+}
+
+RunResult& RunResult::operator+=(const RunResult& o) {
+  total_seconds += o.total_seconds;
+  counters += o.counters;
+  kernel_times += o.kernel_times;
+  budget += o.budget;
+  population += o.population;
+  tally_footprint_bytes += o.tally_footprint_bytes;
+  if (steps.empty()) {
+    steps = o.steps;
+  } else if (!o.steps.empty()) {
+    NEUTRAL_REQUIRE(steps.size() == o.steps.size(),
+                    "merged runs must share a timestep count");
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      steps[s].seconds += o.steps[s].seconds;
+      steps[s].counters += o.steps[s].counters;
+      steps[s].kernel_times += o.steps[s].kernel_times;
+    }
+  }
+  // Checksum and image cannot be merged element-wise; the ordered tally
+  // reduction (batch::reduce_shards) recomputes them from shard images.
+  tally_checksum = 0.0;
+  tally.reset();
+  return *this;
 }
 
 RunResult Simulation::run() {

@@ -48,6 +48,24 @@ XsLookup lookup_from_string(const std::string& s);
 /// "static|dynamic|guided[,chunk]" (also "static,chunk").
 SchedulePolicy schedule_from_string(const std::string& s);
 
+/// A contiguous slice of a deck's particle-id space.  A Simulation given a
+/// span sources only ids [first_id, first_id + count); because the RNG is
+/// keyed by the stable particle id, those histories are identical to the
+/// same ids of the unsharded run — so N disjoint spans covering the deck
+/// are N statistically *and numerically* exact partial solves.
+struct ParticleSpan {
+  std::int64_t first_id = 0;
+  std::int64_t count = 0;  ///< 0 = the rest of the deck from first_id on
+
+  [[nodiscard]] std::int64_t resolved_count(std::int64_t deck_particles) const {
+    // A negative count is propagated (not treated as "rest of the bank")
+    // so the Simulation constructor rejects it instead of silently
+    // re-running someone else's ids.
+    return count == 0 ? deck_particles - first_id : count;
+  }
+  [[nodiscard]] bool whole_bank() const { return first_id == 0 && count == 0; }
+};
+
 struct SimulationConfig {
   ProblemDeck deck;
   Scheme scheme = Scheme::kOverParticles;
@@ -60,6 +78,14 @@ struct SimulationConfig {
   /// Enable §VI-A phase profiling (Over Particles only).
   bool profile = false;
   OverEventsOptions over_events;
+  /// Particle-id slice this run sources (default: the whole deck bank).
+  ParticleSpan span;
+  /// Carry a Neumaier error term per tally cell so each cell rounds once —
+  /// the property that makes sharded runs reduce bit-identically (tally.h).
+  bool compensated_tally = false;
+  /// Copy the merged tally into RunResult::tally (shard jobs need the data
+  /// to outlive the Simulation so the reducer can fold it).
+  bool keep_tally_image = false;
 };
 
 /// Outcome of one timestep.
@@ -79,6 +105,9 @@ struct RunResult {
   double tally_checksum = 0.0;        ///< positional checksum of the tally
   std::int64_t population = 0;        ///< surviving particles
   std::uint64_t tally_footprint_bytes = 0;
+  /// Merged tally snapshot; only populated when the config asked for it
+  /// (SimulationConfig::keep_tally_image) or by the shard reducer.
+  std::shared_ptr<const TallyImage> tally;
 
   /// Events per second — the throughput figure the harness reports.
   [[nodiscard]] double events_per_second() const {
@@ -86,6 +115,14 @@ struct RunResult {
                ? static_cast<double>(counters.total_events()) / total_seconds
                : 0.0;
   }
+
+  /// Merge another partial solve in: counters, kernel times, budget,
+  /// population and per-step data are all extensive sums.  total_seconds
+  /// becomes aggregate CPU seconds (shards overlap in wall time; the
+  /// fork-join report tracks wall clock separately).  The tally checksum
+  /// and image are NOT mergeable element-wise — they are cleared here and
+  /// recomputed by the ordered tally reduction (batch::reduce_shards).
+  RunResult& operator+=(const RunResult& o);
 };
 
 class Simulation {
@@ -127,11 +164,16 @@ class Simulation {
   [[nodiscard]] std::int64_t surviving_population() const;
   [[nodiscard]] double bank_in_flight_energy() const;
 
+  /// The particle-id slice this run sources, with count resolved (equals
+  /// {0, deck.n_particles} for an unsharded run).
+  [[nodiscard]] const ParticleSpan& resolved_span() const { return span_; }
+
  private:
   StepResult step_aos();
   StepResult step_soa();
 
   SimulationConfig config_;
+  ParticleSpan span_;  ///< resolved from config_.span
   std::shared_ptr<const World> world_;
   EnergyTally tally_;
   std::unique_ptr<PhaseProfiler> profiler_;

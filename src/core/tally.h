@@ -14,8 +14,19 @@
 //     separate drain loop applies atomically; this is the §VI-G workaround
 //     that moves the atomics out of the (vectorisable) event kernels, used
 //     by the Over Events scheme.
+//
+// Compensated accumulation (sharding support): any mode can additionally be
+// constructed `compensated`, which keeps a Neumaier error term alongside
+// every sum so each cell carries its deposits to roughly twice working
+// precision.  After merge() the stored cell value is the once-rounded sum
+// of the cell's deposit *multiset* — independent of deposit order, thread
+// count, OpenMP schedule, and of how the particle bank was partitioned into
+// shards.  That invariance is what lets a sharded run reduce to a tally
+// bit-identical to the unsharded run (src/batch/shard.h); the plain modes
+// keep the paper's measured accumulation behaviour.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -33,37 +44,79 @@ enum class TallyMode : std::uint8_t {
 
 const char* to_string(TallyMode mode);
 
+/// A detached copy of a merged tally: the per-cell sums plus (for
+/// compensated tallies) the per-cell error terms.  This is the value a
+/// shard job returns to the reducer after its Simulation is destroyed.
+struct TallyImage {
+  aligned_vector<double> hi;  ///< per-cell sums (what data() exposes)
+  aligned_vector<double> lo;  ///< per-cell compensation; empty if plain
+
+  [[nodiscard]] std::int64_t cells() const {
+    return static_cast<std::int64_t>(hi.size());
+  }
+};
+
 class EnergyTally {
  public:
-  EnergyTally(std::int64_t cells, TallyMode mode, std::int32_t threads);
+  /// `compensated` enables the Neumaier error tracking described above.
+  /// Compensated kAtomic is only meaningful single-threaded (a two-double
+  /// update cannot be a single atomic), so that combination requires
+  /// `threads == 1`; use a privatized mode for compensated multi-threading.
+  EnergyTally(std::int64_t cells, TallyMode mode, std::int32_t threads,
+              bool compensated = false);
 
   /// Hot path: deposit `e` into flat cell index `flat` from `thread`.
   void deposit(std::int64_t flat, double e, std::int32_t thread) {
+    const auto f = static_cast<std::size_t>(flat);
     switch (mode_) {
       case TallyMode::kAtomic: {
-        double& slot = global_[static_cast<std::size_t>(flat)];
+        if (compensated_) {
+          two_sum_add(global_[f], comp_[f], e);  // single-thread only
+        } else {
+          double& slot = global_[f];
 #pragma omp atomic update
-        slot += e;
+          slot += e;
+        }
         break;
       }
       case TallyMode::kDeferredAtomic:
         deferred_[static_cast<std::size_t>(thread)].value.push_back({flat, e});
         break;
-      default:
-        privates_[static_cast<std::size_t>(thread)]
-                 [static_cast<std::size_t>(flat)] += e;
+      default: {
+        const auto t = static_cast<std::size_t>(thread);
+        if (compensated_) {
+          two_sum_add(privates_[t][f], privates_comp_[t][f], e);
+        } else {
+          privates_[t][f] += e;
+        }
+      }
     }
   }
 
   /// Apply and clear all deferred deposits (kDeferredAtomic only); the
   /// driver calls this as its separate tally loop.  Safe to call in any
-  /// mode (no-op otherwise).
+  /// mode (no-op otherwise).  Compensated tallies drain the per-thread
+  /// buffers sequentially in thread order — no atomics, deterministic.
   void drain_deferred();
 
   /// Fold the per-thread copies into the global mesh (no-op for kAtomic).
   /// Called once after the solve (kPrivatized) or after every timestep
-  /// (kPrivatizedMergeEveryStep) by the drivers.
+  /// (kPrivatizedMergeEveryStep) by the drivers.  For compensated tallies
+  /// this also normalises each (sum, comp) pair so data()[c] is the
+  /// once-rounded cell total; idempotent in every mode.
   void merge();
+
+  /// Fold another merged tally into this one, cell by cell, carrying both
+  /// words of each pair (double-double addition).  This tally must be
+  /// compensated and share the cell count; call merge() on `other` first,
+  /// and on this tally after the last accumulate().  This is the shard
+  /// reduction primitive: folding shard tallies in any order reproduces the
+  /// unsharded compensated tally bit-for-bit.
+  void accumulate(const EnergyTally& other);
+  void accumulate(const TallyImage& image);
+
+  /// Detached copy of the merged (sum, comp) arrays; call merge() first.
+  [[nodiscard]] TallyImage image() const;
 
   /// Whether the driver must merge at the end of each timestep.
   [[nodiscard]] bool merge_each_step() const {
@@ -71,6 +124,7 @@ class EnergyTally {
   }
 
   [[nodiscard]] TallyMode mode() const { return mode_; }
+  [[nodiscard]] bool compensated() const { return compensated_; }
   [[nodiscard]] std::int64_t cells() const {
     return static_cast<std::int64_t>(global_.size());
   }
@@ -79,6 +133,10 @@ class EnergyTally {
   [[nodiscard]] const double* data() const { return global_.data(); }
   [[nodiscard]] double at(std::int64_t flat) const {
     return global_[static_cast<std::size_t>(flat)];
+  }
+  /// Per-cell compensation terms (nullptr unless compensated).
+  [[nodiscard]] const double* compensation_data() const {
+    return compensated_ ? comp_.data() : nullptr;
   }
 
   /// Sum over all cells (compensated; stable across schemes).
@@ -96,9 +154,36 @@ class EnergyTally {
     double amount;
   };
 
+  /// Neumaier running sum: sum += x with the rounding error folded into
+  /// comp.  (sum + comp) tracks the exact sum to ~2x working precision.
+  static void two_sum_add(double& sum, double& comp, double x) {
+    const double t = sum + x;
+    if (std::abs(sum) >= std::abs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+
+  /// Double-double accumulate: (hi, lo) += (bhi, blo).
+  static void dd_add(double& hi, double& lo, double bhi, double blo) {
+    const double s = hi + bhi;
+    const double err =
+        std::abs(hi) >= std::abs(bhi) ? (hi - s) + bhi : (bhi - s) + hi;
+    lo += err + blo;
+    hi = s;
+  }
+
+  void accumulate(const double* hi, const double* lo, std::int64_t cells);
+  void normalise();
+
   TallyMode mode_;
+  bool compensated_ = false;
   aligned_vector<double> global_;
+  aligned_vector<double> comp_;  ///< per-cell error terms (compensated only)
   std::vector<aligned_vector<double>> privates_;
+  std::vector<aligned_vector<double>> privates_comp_;
   std::vector<Padded<std::vector<PendingDeposit>>> deferred_;
 };
 

@@ -61,6 +61,23 @@ World::World(const ProblemDeck& deck)
                   "capture/scatter tables must share an energy grid");
 }
 
+std::uint64_t World::footprint_bytes() const {
+  const auto doubles = [](std::uint64_t n) { return n * sizeof(double); };
+  const std::uint64_t mesh_bytes =
+      doubles(static_cast<std::uint64_t>(mesh.nx()) + 1 +
+              static_cast<std::uint64_t>(mesh.ny()) + 1);
+  const std::uint64_t density_bytes =
+      doubles(static_cast<std::uint64_t>(density.size()));
+  // Each table: energy + value arrays plus the bucket acceleration grid
+  // (int32 per point, same order of magnitude).
+  const auto xs_bytes = [&](const CrossSectionTable& t) {
+    return doubles(static_cast<std::uint64_t>(t.size()) * 2) +
+           static_cast<std::uint64_t>(t.size()) * sizeof(std::int32_t);
+  };
+  return sizeof(World) + mesh_bytes + density_bytes + xs_bytes(xs_capture) +
+         xs_bytes(xs_scatter);
+}
+
 std::shared_ptr<const World> build_world(const ProblemDeck& deck) {
   return std::make_shared<const World>(deck);
 }

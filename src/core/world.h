@@ -37,6 +37,11 @@ struct World {
   /// Fingerprint of the deck fields this world was built from (see
   /// world_fingerprint); lets caches detect reuse without keeping the deck.
   std::uint64_t fingerprint = 0;
+
+  /// Estimated resident bytes of the bulk arrays (mesh edges, density
+  /// field, XS tables).  Used by the world cache's byte budget; an
+  /// estimate, not an allocator-exact figure.
+  [[nodiscard]] std::uint64_t footprint_bytes() const;
 };
 
 /// Build a world on the heap (the only way to obtain one).

@@ -45,7 +45,7 @@ void ResultTable::write_csv(const std::string& path) const {
   std::ofstream out(path);
   NEUTRAL_REQUIRE(out.good(), "cannot open CSV output file " + path);
   auto esc = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
     std::string q = "\"";
     for (char ch : s) {
       if (ch == '"') q += '"';
@@ -72,6 +72,12 @@ std::string ResultTable::cell(double v, int precision) {
   if (v != 0.0 && (std::abs(v) >= 1e-3 && std::abs(v) < 1e6)) {
     std::snprintf(buf, sizeof buf, "%.*f", precision, v);
   }
+  return buf;
+}
+
+std::string ResultTable::cell_full(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 

@@ -29,6 +29,9 @@ class ResultTable {
   static std::string cell(double v, int precision = 3);
   static std::string cell(long v);
   static std::string cell(unsigned long long v);
+  /// Round-trippable %.17g cell — for values diffed bit-for-bit across
+  /// runs (shard-reduction checksums).
+  static std::string cell_full(double v);
 
  private:
   std::string title_;

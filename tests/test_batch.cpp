@@ -145,6 +145,76 @@ TEST(WorldCacheTest, ConcurrentAcquireBuildsOnce) {
   EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
 }
 
+TEST(WorldCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  batch::WorldCacheOptions options;
+  options.max_bytes = 1;  // any world overflows: at most one stays resident
+  WorldCache cache(options);
+
+  ProblemDeck deck_a = tiny_deck();
+  ProblemDeck deck_b = tiny_deck();
+  deck_b.nx += 4;
+  deck_b.ny += 4;
+
+  const auto a = cache.acquire(deck_a);
+  EXPECT_EQ(cache.stats().resident_worlds, 1u);
+  EXPECT_GT(cache.stats().resident_bytes, 0u);
+
+  // Building B overflows the budget; A is the LRU victim.  The just-built
+  // entry is never its own victim, so B stays cached even though it alone
+  // exceeds max_bytes.
+  const auto b = cache.acquire(deck_b);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().resident_worlds, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The evicted world's shared_ptr is still valid for its holders.
+  EXPECT_EQ(a->mesh.nx(), deck_a.nx);
+
+  // A is gone: re-acquiring rebuilds (a miss), evicting B in turn.
+  bool hit = true;
+  const auto a2 = cache.acquire(deck_a, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a2.get(), a.get());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(WorldCacheTest, RecentUseProtectsAgainstEviction) {
+  // Budget fits two tiny worlds but not three: the LRU of the three goes.
+  batch::WorldCacheOptions options;
+  ProblemDeck decks[3] = {tiny_deck(), tiny_deck(), tiny_deck()};
+  decks[1].nx += 4;
+  decks[2].nx += 8;
+
+  WorldCache probe;
+  const std::uint64_t one = probe.acquire(decks[0])->footprint_bytes();
+  options.max_bytes = 5 * one / 2;  // room for ~2 worlds
+
+  WorldCache cache(options);
+  (void)cache.acquire(decks[0]);
+  (void)cache.acquire(decks[1]);
+  (void)cache.acquire(decks[0]);  // touch 0: 1 becomes the LRU
+  (void)cache.acquire(decks[2]);  // overflow: 1 must be the victim
+
+  bool hit = false;
+  (void)cache.acquire(decks[0], &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.acquire(decks[2], &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.acquire(decks[1], &hit);  // rebuilt: it was evicted
+  EXPECT_FALSE(hit);
+}
+
+TEST(WorldCacheTest, UnboundedByDefault) {
+  WorldCache cache;
+  ProblemDeck deck = tiny_deck();
+  for (int i = 0; i < 4; ++i) {
+    deck.nx += 4;
+    (void)cache.acquire(deck);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
 // ---------------------------------------------------------------------------
 // Simulation world reuse
 // ---------------------------------------------------------------------------

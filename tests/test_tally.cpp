@@ -172,6 +172,121 @@ TEST(Tally, TotalIncludesUnmergedPrivateCopies) {
 }
 
 // ---------------------------------------------------------------------------
+// Compensated accumulation + cross-shard reduction primitives
+// ---------------------------------------------------------------------------
+
+TEST(TallyCompensated, RecoversBitsPlainSummationLoses) {
+  // 1e16 + 1 - 1e16 == 0 in plain doubles; the Neumaier term keeps the 1.
+  EnergyTally plain(2, TallyMode::kAtomic, 1);
+  EnergyTally comp(2, TallyMode::kAtomic, 1, /*compensated=*/true);
+  for (EnergyTally* t : {&plain, &comp}) {
+    t->deposit(0, 1.0e16, 0);
+    t->deposit(0, 1.0, 0);
+    t->deposit(0, -1.0e16, 0);
+    t->merge();
+  }
+  EXPECT_DOUBLE_EQ(plain.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(comp.at(0), 1.0);
+}
+
+TEST(TallyCompensated, CellValueInvariantToDepositOrder) {
+  // The once-rounded property: any permutation of the deposit multiset
+  // yields the same stored double.
+  const double deposits[] = {0.1, 1.0e12, -0.3, 7.77e-9, 3.14, -1.0e12,
+                             2.5e-17, 0.2};
+  const std::size_t orders[][8] = {{0, 1, 2, 3, 4, 5, 6, 7},
+                                   {7, 6, 5, 4, 3, 2, 1, 0},
+                                   {1, 5, 0, 7, 3, 2, 6, 4}};
+  double reference = 0.0;
+  for (std::size_t o = 0; o < 3; ++o) {
+    EnergyTally t(1, TallyMode::kAtomic, 1, /*compensated=*/true);
+    for (std::size_t i : orders[o]) t.deposit(0, deposits[i], 0);
+    t.merge();
+    if (o == 0) {
+      reference = t.at(0);
+    } else {
+      EXPECT_EQ(t.at(0), reference) << "order " << o;
+    }
+  }
+}
+
+TEST(TallyCompensated, AccumulateSplitsMatchTheWhole) {
+  // Partition a deposit sequence arbitrarily across "shards"; folding the
+  // shard tallies through accumulate() reproduces the single-tally result
+  // bit-for-bit, in any fold order.
+  const std::int64_t cells = 16;
+  EnergyTally whole(cells, TallyMode::kAtomic, 1, true);
+  EnergyTally shard_a(cells, TallyMode::kAtomic, 1, true);
+  EnergyTally shard_b(cells, TallyMode::kAtomic, 1, true);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t cell = (i * 7919) % cells;
+    const double amount = std::pow(1.1, i % 40) * ((i % 3) ? 1.0 : -0.5);
+    whole.deposit(cell, amount, 0);
+    (i % 2 ? shard_a : shard_b).deposit(cell, amount, 0);
+  }
+  whole.merge();
+  shard_a.merge();
+  shard_b.merge();
+
+  for (int order = 0; order < 2; ++order) {
+    EnergyTally reduced(cells, TallyMode::kAtomic, 1, true);
+    reduced.accumulate(order == 0 ? shard_a : shard_b);
+    reduced.accumulate(order == 0 ? shard_b : shard_a);
+    reduced.merge();
+    for (std::int64_t c = 0; c < cells; ++c) {
+      EXPECT_EQ(reduced.at(c), whole.at(c)) << "cell " << c;
+    }
+  }
+}
+
+TEST(TallyCompensated, AccumulateAcceptsImagesAndValidates) {
+  EnergyTally src(8, TallyMode::kAtomic, 1, true);
+  src.deposit(3, 2.5, 0);
+  src.merge();
+  const TallyImage image = src.image();
+  ASSERT_EQ(image.cells(), 8);
+  ASSERT_FALSE(image.lo.empty());
+
+  EnergyTally dst(8, TallyMode::kAtomic, 1, true);
+  dst.accumulate(image);
+  dst.merge();
+  EXPECT_DOUBLE_EQ(dst.at(3), 2.5);
+
+  EnergyTally plain(8, TallyMode::kAtomic, 1);
+  EXPECT_THROW(plain.accumulate(src), Error);  // target must be compensated
+  EnergyTally wrong(4, TallyMode::kAtomic, 1, true);
+  EXPECT_THROW(wrong.accumulate(src), Error);  // cell counts must match
+}
+
+TEST(TallyCompensated, PrivatizedMergeIsThreadCountInvariant) {
+  // The same deposit multiset through 1, 2 and 8 private copies must merge
+  // to identical doubles — the property that lets shard jobs run at any
+  // width.
+  const std::int64_t cells = 8;
+  double reference[8] = {};
+  for (const int threads : {1, 2, 8}) {
+    EnergyTally t(cells, TallyMode::kPrivatized, threads, true);
+    for (int i = 0; i < 4000; ++i) {
+      t.deposit(i % cells, std::pow(1.07, i % 50), i % threads);
+    }
+    t.merge();
+    for (std::int64_t c = 0; c < cells; ++c) {
+      if (threads == 1) {
+        reference[c] = t.at(c);
+      } else {
+        EXPECT_EQ(t.at(c), reference[c]) << threads << " threads, cell " << c;
+      }
+    }
+  }
+}
+
+TEST(TallyCompensated, CompensatedAtomicRequiresOneThread) {
+  EXPECT_THROW(EnergyTally(8, TallyMode::kAtomic, 2, true), Error);
+  EXPECT_NO_THROW(EnergyTally(8, TallyMode::kAtomic, 1, true));
+  EXPECT_NO_THROW(EnergyTally(8, TallyMode::kPrivatized, 2, true));
+}
+
+// ---------------------------------------------------------------------------
 // Footprint accounting (§VI-F: the 0.3 GB -> 31 GB blow-up)
 // ---------------------------------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "util/aligned.h"
 #include "util/cli.h"
@@ -211,6 +212,24 @@ TEST(Table, CsvRoundTripsContent) {
   EXPECT_EQ(line, "alpha,1.5");
   std::getline(in, line);
   EXPECT_EQ(line, "\"with,comma\",2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvQuotesEmbeddedQuotesAndControlCharacters) {
+  // Sweep labels embed axis values ("dynamic,4") and error cells can carry
+  // arbitrary exception text: every RFC-4180 special must round-trip.
+  ResultTable t("demo", {"label", "status"});
+  t.add_row({"csp/dynamic,4/n=100", "he said \"boom\""});
+  t.add_row({"multi\nline", "carriage\rreturn"});
+  const std::string path = ::testing::TempDir() + "/neutral_table_quote.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"csp/dynamic,4/n=100\""), std::string::npos);
+  EXPECT_NE(content.find("\"he said \"\"boom\"\"\""), std::string::npos);
+  EXPECT_NE(content.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(content.find("\"carriage\rreturn\""), std::string::npos);
   std::remove(path.c_str());
 }
 
