@@ -24,6 +24,7 @@
 #include <fstream>
 #include <string>
 
+#include "batch/domain.h"
 #include "batch/engine.h"
 #include "batch/shard.h"
 #include "batch/sweep.h"
@@ -98,6 +99,11 @@ int main(int argc, char** argv) {
         "shards", 0,
         "split every sweep job into N fork-join shard jobs (0 = off; any "
         "N >= 1 reduces to bit-identical merged results)"));
+    const std::string domains = cli.option(
+        "domains", "",
+        "domain-decompose every sweep job over an RxC mesh grid (e.g. "
+        "2x2); forces over-particles + AoS and reduces each job to one "
+        "bit-identical row");
     const auto cache_mb = cli.option_int(
         "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
     if (!cli.finish()) return 0;
@@ -121,6 +127,87 @@ int main(int argc, char** argv) {
                                              : load_sweep(spec_path);
     const std::vector<Job> sweep_jobs = expand_sweep(spec);
     BatchEngine engine(options);
+
+    // --domains: run every sweep job through the mesh decomposition and
+    // reduce each to one bit-identical row.  Decks run one after another
+    // (each solve is itself a fork-join over the pool), so this path has
+    // its own table and exits here.
+    if (!domains.empty()) {
+      NEUTRAL_REQUIRE(shards == 0,
+                      "--shards (bank) and --domains (mesh) cannot combine");
+      NEUTRAL_REQUIRE(!check_serial,
+                      "--check-serial compares the plain pipeline; domain "
+                      "runs use compensated tallies (use the 1x1-vs-RxC "
+                      "CSV diff instead)");
+      NEUTRAL_REQUIRE(record_dir.empty(),
+                      "--record-dir is not supported with --domains");
+      const auto [rows, cols] = parse_domain_grid(domains);
+      std::printf("# neutral_batch (%s)\n", host_banner().c_str());
+      std::printf("# %zu sweep jobs, each decomposed over a %dx%d domain "
+                  "grid (over-particles/AoS forced)\n",
+                  sweep_jobs.size(), rows, cols);
+      ResultTable table(
+          "neutral_batch — " + std::to_string(sweep_jobs.size()) +
+              " jobs x " + domains + " domains",
+          {"job", "label", "particles", "grid", "events", "migrations",
+           "rounds", "peak slab [MiB]", "tally checksum", "population",
+           "status"});
+      bool domains_ok = true;
+      for (const Job& job : sweep_jobs) {
+        SimulationConfig config = job.config;
+        // The decomposition is scheme/layout-restricted; pin every job to
+        // the supported pair so sweep axes over scheme/layout still run.
+        // tally_mode is pinned too: expand_sweep rewrites over-events jobs
+        // to kDeferredAtomic, whose per-thread deposit buffers would dwarf
+        // the slab — the very footprint --domains exists to shrink — and
+        // make identical physics report different peak bytes per row.
+        config.scheme = Scheme::kOverParticles;
+        config.layout = Layout::kAoS;
+        config.tally_mode = TallyMode::kAtomic;
+        DomainOptions domain_options;
+        domain_options.rows = rows;
+        domain_options.cols = cols;
+        domain_options.group = job.id + 1;
+        domain_options.threads_per_domain =
+            options.threads_per_job > 0 ? options.threads_per_job : 1;
+        const DomainRunReport report =
+            run_domains(engine, config, domain_options);
+        if (!quiet) {
+          std::printf("done %-44s %s\n", job.label.c_str(),
+                      report.ok ? "ok" : report.error.c_str());
+        }
+        if (!report.ok) {
+          domains_ok = false;
+          table.add_row({std::to_string(job.id), job.label,
+                         ResultTable::cell(
+                             static_cast<long>(config.deck.n_particles)),
+                         domains, "-", "-", "-", "-", "-", "-",
+                         "FAIL: " + report.error});
+          continue;
+        }
+        table.add_row(
+            {std::to_string(job.id), job.label,
+             ResultTable::cell(static_cast<long>(config.deck.n_particles)),
+             std::to_string(report.grid.rows) + "x" +
+                 std::to_string(report.grid.cols),
+             ResultTable::cell(static_cast<unsigned long long>(
+                 report.merged.counters.total_events())),
+             ResultTable::cell(
+                 static_cast<unsigned long long>(report.migrations)),
+             std::to_string(report.rounds),
+             ResultTable::cell(
+                 static_cast<double>(report.peak_mesh_bytes) / (1 << 20),
+                 3),
+             ResultTable::cell_full(report.merged.tally_checksum),
+             ResultTable::cell(static_cast<long>(report.merged.population)),
+             report.merged.budget.conserved(1e-9) ? "ok"
+                                                  : "NOT CONSERVED"});
+      }
+      table.print();
+      table.write_csv(csv);
+      std::printf("wrote %s\n", csv.c_str());
+      return domains_ok ? 0 : 1;
+    }
 
     // --shards: every sweep job becomes a fork-join group of shard jobs;
     // groups are reduced back to one row each after the run.

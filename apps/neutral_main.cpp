@@ -10,9 +10,11 @@
 //   $ neutral --problem scatter --profile            # §VI-A grind table
 //   $ neutral --problem csp --heatmap out.ppm        # deposition image
 //   $ neutral --problem csp --shards 8               # fork-join one deck
+//   $ neutral --problem csp --domains 2x2            # decompose the mesh
 #include <cstdio>
 #include <string>
 
+#include "batch/domain.h"
 #include "batch/shard.h"
 #include "core/simulation.h"
 #include "io/deck_io.h"
@@ -133,6 +135,15 @@ int main(int argc, char** argv) {
         "one bit-identical result)"));
     const auto shard_workers = static_cast<std::int32_t>(cli.option_int(
         "shard-workers", 0, "worker threads for sharded runs (0 = auto)"));
+    const std::string domains = cli.option(
+        "domains", "",
+        "decompose the MESH into an RxC subdomain grid (e.g. 2x2): each "
+        "subdomain materialises only its tally/density slab and particles "
+        "migrate at subdomain facets; any grid reduces to one bit-identical "
+        "result (over-particles + AoS only)");
+    const auto domain_workers = static_cast<std::int32_t>(cli.option_int(
+        "domain-workers", 0,
+        "worker threads for domain-decomposed runs (0 = auto)"));
     if (!cli.finish()) return 0;
 
     config.deck = deck_file.empty()
@@ -147,10 +158,63 @@ int main(int argc, char** argv) {
       config.tally_mode = TallyMode::kDeferredAtomic;
     }
 
+    NEUTRAL_REQUIRE(shards == 0 || domains.empty(),
+                    "--shards (bank decomposition) and --domains (mesh "
+                    "decomposition) cannot combine");
+
     std::printf("# neutral-mc (%s)\n", host_banner().c_str());
 
     RunResult result;
-    if (shards > 0) {
+    if (!domains.empty()) {
+      // Domain decomposition: tile the mesh, migrate particles at
+      // subdomain facets, stitch the slabs back bit-identically
+      // (src/batch/domain.h).
+      const auto [rows, cols] = batch::parse_domain_grid(domains);
+      if (config.profile) {
+        std::printf("note           : --profile is per-Simulation; ignored "
+                    "for domain runs\n");
+        config.profile = false;
+      }
+      batch::EngineOptions engine_options;
+      engine_options.workers = domain_workers;
+      batch::BatchEngine engine(engine_options);
+      batch::DomainOptions domain_options;
+      domain_options.rows = rows;
+      domain_options.cols = cols;
+      domain_options.threads_per_domain = config.threads > 0
+                                              ? config.threads
+                                              : 1;
+      const batch::DomainRunReport domain_report =
+          batch::run_domains(engine, config, domain_options);
+      NEUTRAL_REQUIRE(domain_report.ok, domain_report.error);
+      result = domain_report.merged;
+      print_report(config, result);
+      // Full mesh-resident footprint for the comparison: the summed tally
+      // slabs (== the full tally) plus the full density field the slabs
+      // avoided allocating.
+      const std::uint64_t full_mesh_bytes =
+          result.tally_footprint_bytes +
+          static_cast<std::uint64_t>(config.deck.nx) * config.deck.ny *
+              sizeof(double);
+      std::printf("domains        : %dx%d grid, %lld migrations over %d "
+                  "rounds, %.4f s wall; peak slab %.1f MB of %.1f MB full "
+                  "mesh\n",
+                  domain_report.grid.rows, domain_report.grid.cols,
+                  static_cast<long long>(domain_report.migrations),
+                  domain_report.rounds, domain_report.wall_seconds,
+                  static_cast<double>(domain_report.peak_mesh_bytes) /
+                      (1 << 20),
+                  static_cast<double>(full_mesh_bytes) / (1 << 20));
+      if (!heatmap.empty()) {
+        // The stitched image covers the full grid; a bare mesh (no full
+        // density field — the thing --domains avoids allocating) renders it.
+        const StructuredMesh2D mesh(config.deck.nx, config.deck.ny,
+                                    config.deck.width_cm,
+                                    config.deck.height_cm);
+        write_heatmap_ppm(heatmap, mesh, result.tally->hi.data());
+        std::printf("heatmap        : wrote %s\n", heatmap.c_str());
+      }
+    } else if (shards > 0) {
       // Fork-join path: split the bank into shard jobs on a batch engine
       // and reduce.  The merged checksum/population are invariant to the
       // shard and worker counts (src/batch/shard.h).
@@ -198,10 +262,12 @@ int main(int argc, char** argv) {
         std::printf("heatmap        : wrote %s\n", heatmap.c_str());
       }
     }
-    if (shards > 0 && (!record.empty() || !verify.empty())) {
-      std::printf("note           : sharded runs use the compensated tally "
-                  "pipeline; their records/checksums only compare against "
-                  "other sharded runs, not the plain path\n");
+    if ((shards > 0 || !domains.empty()) &&
+        (!record.empty() || !verify.empty())) {
+      std::printf("note           : decomposed runs (--shards/--domains) "
+                  "use the compensated tally pipeline; their "
+                  "records/checksums only compare against other decomposed "
+                  "runs, not the plain path\n");
     }
     if (!record.empty()) {
       save_results(make_expected(config, result), record);

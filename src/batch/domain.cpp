@@ -1,0 +1,267 @@
+#include "batch/domain.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "core/init.h"
+#include "core/validation.h"
+#include "runtime/timer.h"
+#include "util/error.h"
+
+namespace neutral::batch {
+
+namespace {
+
+/// Split `cells` into `parts` contiguous extents, remainder leading —
+/// the same balancing rule plan_shards applies to particle ids.
+std::vector<std::int32_t> split_axis(std::int32_t cells, std::int32_t parts) {
+  std::vector<std::int32_t> starts;
+  starts.reserve(static_cast<std::size_t>(parts) + 1);
+  const std::int32_t base = cells / parts;
+  const std::int32_t remainder = cells % parts;
+  std::int32_t at = 0;
+  for (std::int32_t p = 0; p < parts; ++p) {
+    starts.push_back(at);
+    at += base + (p < remainder ? 1 : 0);
+  }
+  starts.push_back(cells);
+  return starts;
+}
+
+std::int32_t find_extent(const std::vector<std::int32_t>& starts,
+                         std::int32_t v) {
+  // starts is sorted; the owning extent is the last start <= v.
+  const auto it = std::upper_bound(starts.begin(), starts.end(), v);
+  return static_cast<std::int32_t>(it - starts.begin()) - 1;
+}
+
+}  // namespace
+
+DomainWindow DomainGrid::window(std::int32_t r, std::int32_t c) const {
+  return DomainWindow{col_start[static_cast<std::size_t>(c)],
+                      row_start[static_cast<std::size_t>(r)],
+                      col_start[static_cast<std::size_t>(c) + 1] -
+                          col_start[static_cast<std::size_t>(c)],
+                      row_start[static_cast<std::size_t>(r) + 1] -
+                          row_start[static_cast<std::size_t>(r)]};
+}
+
+std::size_t DomainGrid::owner(CellIndex cell) const {
+  const std::int32_t r = find_extent(row_start, cell.y);
+  const std::int32_t c = find_extent(col_start, cell.x);
+  return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+         static_cast<std::size_t>(c);
+}
+
+DomainGrid plan_domains(std::int32_t nx, std::int32_t ny, std::int32_t rows,
+                        std::int32_t cols) {
+  NEUTRAL_REQUIRE(nx >= 1 && ny >= 1, "cannot tile an empty mesh");
+  NEUTRAL_REQUIRE(rows >= 1 && cols >= 1,
+                  "domain grid must have at least one row and column");
+  DomainGrid grid;
+  grid.rows = std::min(rows, ny);
+  grid.cols = std::min(cols, nx);
+  grid.row_start = split_axis(ny, grid.rows);
+  grid.col_start = split_axis(nx, grid.cols);
+  return grid;
+}
+
+std::pair<std::int32_t, std::int32_t> parse_domain_grid(
+    const std::string& spec) {
+  const auto x = spec.find('x');
+  bool ok = x != std::string::npos && x > 0 && x + 1 < spec.size();
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+  if (ok) {
+    try {
+      std::size_t used = 0;
+      rows = std::stoi(spec, &used);
+      ok = used == x;
+      std::size_t used2 = 0;
+      cols = std::stoi(spec.substr(x + 1), &used2);
+      ok = ok && x + 1 + used2 == spec.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  NEUTRAL_REQUIRE(ok && rows >= 1 && cols >= 1,
+                  "bad domain grid '" + spec + "' (expected RxC, e.g. 2x2)");
+  return {rows, cols};
+}
+
+DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
+                            const DomainOptions& opt) {
+  NEUTRAL_REQUIRE(base.span.whole_bank(),
+                  "cannot domain-decompose a config with a particle span");
+  NEUTRAL_REQUIRE(!base.window.active(),
+                  "cannot domain-decompose a config that already has a "
+                  "window");
+  NEUTRAL_REQUIRE(opt.group != 0,
+                  "domain rounds need a non-zero fork-join group");
+  WallTimer wall;
+  DomainRunReport report;
+  report.grid = plan_domains(base.deck.nx, base.deck.ny, opt.rows, opt.cols);
+  const std::size_t n = report.grid.count();
+
+  // Slab worlds, through the engine's cache so domain runs of sweep jobs
+  // sharing geometry reuse one world per window instead of rebuilding
+  // mesh + XS tables per job.
+  std::vector<std::shared_ptr<const World>> worlds;
+  worlds.reserve(n);
+  for (std::int32_t r = 0; r < report.grid.rows; ++r) {
+    for (std::int32_t c = 0; c < report.grid.cols; ++c) {
+      const DomainWindow window = report.grid.window(r, c);
+      worlds.push_back(engine.options().reuse_worlds
+                           ? engine.cache().acquire(base.deck, window)
+                           : build_world(base.deck, window));
+    }
+  }
+
+  // One pass over the id space routes every birth to its owning subdomain:
+  // G subdomains cost one scan, not G.  route_births owns the id-order
+  // invariant.  (Every slab world carries the full edge arrays, so any of
+  // them can locate births.)
+  std::vector<std::vector<Particle>> banks = route_births(
+      base.deck, worlds.front()->mesh, n,
+      [&grid = report.grid](const Particle& p) {
+        return grid.owner({p.cellx, p.celly});
+      });
+
+  // Per-subdomain Simulations: compensated tallies + kept images (the PR 2
+  // reduction contract), atomic promoted to privatized when a round may run
+  // more than one thread — exactly the shard-job rule.
+  std::vector<std::unique_ptr<Simulation>> sims;
+  sims.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    SimulationConfig cfg = base;
+    cfg.window = worlds[d]->window;
+    cfg.compensated_tally = true;
+    cfg.keep_tally_image = true;
+    cfg.threads = opt.threads_per_domain > 0 ? opt.threads_per_domain : 1;
+    if (cfg.tally_mode == TallyMode::kAtomic && cfg.threads != 1) {
+      cfg.tally_mode = TallyMode::kPrivatized;
+    }
+    sims.push_back(std::make_unique<Simulation>(cfg, worlds[d],
+                                                std::move(banks[d])));
+    report.sourced.push_back(sims.back()->sourced_count());
+  }
+
+  // Fork-join one transport round for the `active` subdomains.  Returns
+  // false (with report.error set) on the first failed round job.
+  std::uint64_t next_job_id = 0;
+  auto run_round = [&](const std::vector<std::size_t>& active,
+                       bool wake) -> bool {
+    std::vector<Job> jobs;
+    jobs.reserve(active.size());
+    for (std::size_t d : active) {
+      Job job;
+      job.id = next_job_id++;
+      job.group = opt.group;
+      job.priority = opt.priority;
+      job.label = "domain " + std::to_string(d) + "/" + std::to_string(n) +
+                  (wake ? " wake" : " resume");
+      job.work = [sim = sims[d].get(), wake] {
+        sim->transport_round(wake);
+        return RunResult{};
+      };
+      jobs.push_back(std::move(job));
+    }
+    const BatchReport round = engine.run(std::move(jobs));
+    for (const JobOutcome& outcome : round.jobs) {
+      if (!outcome.ok) {
+        report.error = outcome.label + " failed: " + outcome.error;
+        return false;
+      }
+    }
+    ++report.rounds;
+    return true;
+  };
+
+  // Transport: per timestep, one wake round for every subdomain, then
+  // resume rounds for whoever received migrants, until the buffers drain.
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<std::vector<Particle>> inbox(n);
+  std::vector<Particle> outbound;
+  for (std::int32_t t = 0; t < base.deck.n_timesteps; ++t) {
+    std::vector<std::size_t> active = all;
+    bool wake = true;
+    while (!active.empty()) {
+      if (!run_round(active, wake)) return report;
+      wake = false;
+
+      outbound.clear();
+      for (std::size_t d = 0; d < n; ++d) {
+        sims[d]->extract_migrants(outbound);
+      }
+      report.migrations += static_cast<std::int64_t>(outbound.size());
+      for (const Particle& p : outbound) {
+        inbox[report.grid.owner({p.cellx, p.celly})].push_back(p);
+      }
+      active.clear();
+      for (std::size_t d = 0; d < n; ++d) {
+        if (inbox[d].empty()) continue;
+        // Deterministic drain order: immigrants re-bank sorted by id, so
+        // the bank contents are invariant to extraction/worker order.
+        std::sort(inbox[d].begin(), inbox[d].end(),
+                  [](const Particle& a, const Particle& b) {
+                    return a.id < b.id;
+                  });
+        sims[d]->inject_migrants(inbox[d].data(), inbox[d].size());
+        inbox[d].clear();
+        active.push_back(d);
+      }
+    }
+  }
+
+  // Reduce: extensive sums via RunResult::operator+=, then stitch the
+  // disjoint tally slabs into the full grid and fold through a compensated
+  // tally (the PR 2 machinery) to recompute checksum/total/image.
+  const std::int64_t full_cells =
+      static_cast<std::int64_t>(base.deck.nx) * base.deck.ny;
+  TallyImage stitched;
+  stitched.hi.assign(static_cast<std::size_t>(full_cells), 0.0);
+  stitched.lo.assign(static_cast<std::size_t>(full_cells), 0.0);
+  RunResult merged;
+  std::uint64_t peak = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    const RunResult part = sims[d]->summary();
+    NEUTRAL_REQUIRE(part.tally != nullptr,
+                    "subdomain result must carry a tally image");
+    peak = std::max(peak, part.peak_mesh_bytes);
+    merged += part;
+
+    const DomainWindow& w = sims[d]->window();
+    for (std::int32_t j = 0; j < w.ny; ++j) {
+      const std::size_t src = static_cast<std::size_t>(j) *
+                              static_cast<std::size_t>(w.nx);
+      const std::size_t dst =
+          static_cast<std::size_t>(w.y0 + j) *
+              static_cast<std::size_t>(base.deck.nx) +
+          static_cast<std::size_t>(w.x0);
+      std::copy_n(part.tally->hi.begin() + static_cast<std::ptrdiff_t>(src),
+                  w.nx,
+                  stitched.hi.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(part.tally->lo.begin() + static_cast<std::ptrdiff_t>(src),
+                  w.nx,
+                  stitched.lo.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+  }
+  EnergyTally reduced(full_cells, TallyMode::kAtomic, /*threads=*/1,
+                      /*compensated=*/true);
+  reduced.accumulate(stitched);
+  reduced.merge();
+  merged.tally_checksum = positional_checksum(reduced.data(), full_cells);
+  merged.budget.tally_total = reduced.total();
+  merged.tally = std::make_shared<const TallyImage>(reduced.image());
+  merged.peak_mesh_bytes = peak;
+
+  report.merged = std::move(merged);
+  report.peak_mesh_bytes = peak;
+  report.ok = true;
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace neutral::batch

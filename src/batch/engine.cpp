@@ -124,17 +124,24 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       outcome.worker = worker_id;
       WallTimer timer;
       try {
-        SimulationConfig config = job->config;
-        if (config.threads <= 0) config.threads = threads_per_job;
-        std::shared_ptr<const World> world =
-            options_.reuse_worlds
-                ? cache_.acquire(config.deck, job->fingerprint,
-                                 &outcome.world_cache_hit)
-                : build_world(config.deck);
-        Simulation sim(std::move(config), std::move(world));
-        outcome.result = sim.run();
-        outcome.config = sim.config();
-        outcome.ok = true;
+        if (job->work) {
+          // Custom work owns its own state and threading.
+          outcome.result = job->work();
+          outcome.config = job->config;
+          outcome.ok = true;
+        } else {
+          SimulationConfig config = job->config;
+          if (config.threads <= 0) config.threads = threads_per_job;
+          std::shared_ptr<const World> world =
+              options_.reuse_worlds
+                  ? cache_.acquire(config.deck, job->fingerprint,
+                                   &outcome.world_cache_hit)
+                  : build_world(config.deck);
+          Simulation sim(std::move(config), std::move(world));
+          outcome.result = sim.run();
+          outcome.config = sim.config();
+          outcome.ok = true;
+        }
       } catch (const std::exception& e) {
         outcome.ok = false;
         outcome.error = e.what();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "core/simulation.h"
@@ -32,6 +33,13 @@ struct Job {
   SimulationConfig config;
   /// world_fingerprint(config.deck), precomputed at submission.
   std::uint64_t fingerprint = 0;
+  /// Custom work: when set, the worker runs this instead of constructing a
+  /// Simulation from `config` — the hook that lets stateful fork-join
+  /// phases (domain-decomposition transport rounds, which keep per-
+  /// subdomain Simulations alive across calls) ride the worker pool.  The
+  /// functor runs on a worker thread; exceptions mark the job failed, and
+  /// group cancellation applies as usual.  The world cache is bypassed.
+  std::function<RunResult()> work;
 };
 
 /// Construct a job, filling in the fingerprint and a default label.

@@ -12,8 +12,21 @@ std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
 std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
                                                  std::uint64_t fingerprint,
                                                  bool* hit) {
-  const std::uint64_t key = fingerprint;
+  return acquire_keyed(fingerprint, [&deck] { return build_world(deck); },
+                       hit);
+}
 
+std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
+                                                 const DomainWindow& window,
+                                                 bool* hit) {
+  return acquire_keyed(domain_world_fingerprint(deck, window),
+                       [&deck, &window] { return build_world(deck, window); },
+                       hit);
+}
+
+std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
+                                                       const Builder& build,
+                                                       bool* hit) {
   Future future;
   std::promise<std::shared_ptr<const World>> promise;
   bool builder = false;
@@ -35,7 +48,7 @@ std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
 
   if (builder) {
     try {
-      std::shared_ptr<const World> world = build_world(deck);
+      std::shared_ptr<const World> world = build();
       const std::uint64_t bytes = world->footprint_bytes();
       promise.set_value(std::move(world));
       std::lock_guard<std::mutex> lock(mutex_);

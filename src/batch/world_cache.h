@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -65,6 +66,13 @@ class WorldCache {
   std::shared_ptr<const World> acquire(const ProblemDeck& deck,
                                        std::uint64_t fingerprint, bool* hit);
 
+  /// Slab variant, keyed by domain_world_fingerprint(deck, window): domain
+  /// decompositions of sweep jobs that share geometry reuse one slab world
+  /// per window instead of rebuilding mesh + XS tables per job.
+  std::shared_ptr<const World> acquire(const ProblemDeck& deck,
+                                       const DomainWindow& window,
+                                       bool* hit = nullptr);
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const WorldCacheOptions& options() const { return options_; }
 
@@ -76,6 +84,11 @@ class WorldCache {
 
  private:
   using Future = std::shared_future<std::shared_ptr<const World>>;
+  using Builder = std::function<std::shared_ptr<const World>()>;
+
+  /// Shared hit/miss/build/evict machinery behind every acquire overload.
+  std::shared_ptr<const World> acquire_keyed(std::uint64_t key,
+                                             const Builder& build, bool* hit);
 
   struct Entry {
     Future future;

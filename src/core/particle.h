@@ -21,6 +21,12 @@ enum class ParticleState : std::uint8_t {
   kCensus = 0,  ///< alive, waiting for the next timestep (or newly born)
   kAlive = 1,   ///< in flight within the current timestep
   kDead = 2,    ///< history terminated (energy/weight cutoff)
+  /// Mid-flight, parked at a subdomain facet awaiting re-banking on the
+  /// owning subdomain (domain decomposition — src/batch/domain.h).  The
+  /// particle record is a complete checkpoint: position at the facet,
+  /// clocks already decayed, cell index stepped into the neighbour cell,
+  /// RNG counter current.
+  kMigrating = 3,
 };
 
 /// AoS particle record (~96 bytes, 1.5 cache lines).

@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include <algorithm>
+
 #include "core/init.h"
 #include "runtime/timer.h"
 #include "util/error.h"
@@ -73,15 +75,31 @@ SchedulePolicy schedule_from_string(const std::string& s) {
 }
 
 Simulation::Simulation(SimulationConfig config)
-    : Simulation(std::move(config), nullptr) {}
+    : Simulation(std::move(config), nullptr,
+                 static_cast<std::vector<Particle>*>(nullptr)) {}
 
 Simulation::Simulation(SimulationConfig config,
                        std::shared_ptr<const World> world)
+    : Simulation(std::move(config), std::move(world),
+                 static_cast<std::vector<Particle>*>(nullptr)) {}
+
+Simulation::Simulation(SimulationConfig config,
+                       std::shared_ptr<const World> world,
+                       std::vector<Particle> bank)
+    : Simulation(std::move(config), std::move(world), &bank) {}
+
+Simulation::Simulation(SimulationConfig config,
+                       std::shared_ptr<const World> world,
+                       std::vector<Particle>* prebuilt)
     : config_(std::move(config)),
       span_{config_.span.first_id,
             config_.span.resolved_count(config_.deck.n_particles)},
-      world_(world != nullptr ? std::move(world) : build_world(config_.deck)),
-      tally_(world_->mesh.num_cells(),
+      world_(world != nullptr
+                 ? std::move(world)
+                 : build_world(config_.deck, config_.window)),
+      window_(config_.window.active() ? config_.window
+                                      : DomainWindow::full(world_->mesh)),
+      tally_(window_.num_cells(),
              config_.tally_mode,
              config_.threads > 0 ? config_.threads : omp_get_max_threads(),
              config_.compensated_tally) {
@@ -89,8 +107,27 @@ Simulation::Simulation(SimulationConfig config,
   NEUTRAL_REQUIRE(span_.first_id >= 0 && span_.count > 0 &&
                       span_.first_id + span_.count <= config_.deck.n_particles,
                   "particle span must be a non-empty slice of the deck bank");
-  NEUTRAL_REQUIRE(world_->fingerprint == world_fingerprint(config_.deck),
-                  "shared world was built from a different deck geometry");
+  NEUTRAL_REQUIRE(window_.within(world_->mesh),
+                  "domain window must fit inside the mesh");
+  NEUTRAL_REQUIRE(
+      world_->fingerprint ==
+          domain_world_fingerprint(config_.deck, window_),
+      "shared world was built from a different deck geometry or window");
+  NEUTRAL_REQUIRE(world_->window == window_,
+                  "shared world covers a different mesh window");
+  if (config_.window.active()) {
+    // Windowed (domain-decomposed) runs: the transport kernels park
+    // particles leaving the slab, so only the register-cached Over
+    // Particles scheme with an AoS bank (a Particle record doubles as the
+    // migration checkpoint) is supported, and the bank must be the whole
+    // deck — spatial and bank decomposition do not compose.
+    NEUTRAL_REQUIRE(config_.scheme == Scheme::kOverParticles,
+                    "domain windows require the over-particles scheme");
+    NEUTRAL_REQUIRE(config_.layout == Layout::kAoS,
+                    "domain windows require the AoS particle layout");
+    NEUTRAL_REQUIRE(config_.span.whole_bank(),
+                    "domain windows and particle spans cannot combine");
+  }
 
   if (config_.threads > 0) set_thread_count(config_.threads);
   if (config_.profile) {
@@ -110,8 +147,23 @@ Simulation::Simulation(SimulationConfig config,
   ctx_.roulette_survival = config_.deck.roulette_survival;
   ctx_.seed = config_.deck.seed;
   ctx_.profiler = profiler_.get();
+  ctx_.window = window_;
+  ctx_.migrate = config_.window.active();
+
+  if (config_.window.active()) {
+    if (prebuilt != nullptr) {
+      adopt_window_bank(std::move(*prebuilt));
+    } else {
+      source_window_bank();
+    }
+    sourced_count_ = static_cast<std::int64_t>(aos_.size());
+    return;
+  }
+  NEUTRAL_REQUIRE(prebuilt == nullptr,
+                  "prebuilt banks are a windowed-run feature");
 
   const auto n = static_cast<std::size_t>(span_.count);
+  sourced_count_ = span_.count;
   if (config_.layout == Layout::kAoS) {
     aos_.resize(n);
     initialise_particles(AosView(aos_.data(), n), config_.deck, world_->mesh,
@@ -124,6 +176,35 @@ Simulation::Simulation(SimulationConfig config,
   if (config_.scheme == Scheme::kOverEvents) {
     workspace_ = std::make_unique<OverEventsWorkspace>(n);
   }
+}
+
+void Simulation::source_window_bank() {
+  // Scan the full id space and keep the particles *born* inside the
+  // window: each id costs only its 4 birth draws, so the scan is
+  // O(n_particles) time but the bank is O(particles in the slab) memory —
+  // the point of decomposing.  route_births owns the id-order invariant.
+  std::vector<std::vector<Particle>> banks = route_births(
+      config_.deck, world_->mesh, 1, [this](const Particle& p) {
+        return window_.contains({p.cellx, p.celly}) ? std::size_t{0}
+                                                    : std::size_t{1};
+      });
+  aos_ = std::move(banks.front());
+}
+
+void Simulation::adopt_window_bank(std::vector<Particle> bank) {
+  std::uint64_t last_id = 0;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const Particle& p = bank[i];
+    NEUTRAL_REQUIRE(window_.contains({p.cellx, p.celly}),
+                    "prebuilt bank holds a particle born outside the "
+                    "window");
+    NEUTRAL_REQUIRE(p.state == ParticleState::kCensus,
+                    "prebuilt bank records must be unborn (kCensus)");
+    NEUTRAL_REQUIRE(i == 0 || p.id > last_id,
+                    "prebuilt bank must be in strict id order");
+    last_id = p.id;
+  }
+  aos_ = std::move(bank);
 }
 
 StepResult Simulation::step_aos() {
@@ -165,6 +246,9 @@ StepResult Simulation::step_soa() {
 }
 
 StepResult Simulation::step() {
+  NEUTRAL_REQUIRE(!config_.window.active(),
+                  "windowed simulations are driven round-by-round "
+                  "(transport_round) by batch::run_domains, not step()");
   StepResult result =
       config_.layout == Layout::kAoS ? step_aos() : step_soa();
   accumulated_ += result.counters;
@@ -172,6 +256,72 @@ StepResult Simulation::step() {
   total_seconds_ += result.seconds;
   step_results_.push_back(result);
   return result;
+}
+
+StepResult Simulation::transport_round(bool wake) {
+  NEUTRAL_REQUIRE(config_.window.active(),
+                  "transport_round drives windowed runs; use step()");
+  // Rounds run on whichever engine worker picks them up, and the OpenMP
+  // team size is a per-thread ICV: re-pin it here so the round matches the
+  // thread budget the tally was built for (the constructor only pinned the
+  // constructing thread).
+  if (config_.threads > 0) set_thread_count(config_.threads);
+  StepResult result;
+  AosView view(aos_.data(), aos_.size());
+  WallTimer timer;
+  OverParticlesOptions opt;
+  opt.schedule = config_.schedule;
+  opt.profile = config_.profile;
+  opt.wake_census = wake;
+  result.counters =
+      over_particles_step(view, ctx_, config_.deck.dt_s, opt);
+  if (tally_.merge_each_step()) tally_.merge();
+  result.seconds = timer.seconds();
+
+  accumulated_ += result.counters;
+  total_seconds_ += result.seconds;
+  if (wake || step_results_.empty()) {
+    // A wake round opens the timestep's StepResult; resume rounds fold
+    // into it so steps.size() stays deck.n_timesteps.
+    step_results_.push_back(result);
+  } else {
+    step_results_.back().seconds += result.seconds;
+    step_results_.back().counters += result.counters;
+  }
+  return result;
+}
+
+std::size_t Simulation::extract_migrants(std::vector<Particle>& out) {
+  std::size_t kept = 0;
+  std::size_t extracted = 0;
+  for (std::size_t i = 0; i < aos_.size(); ++i) {
+    if (aos_[i].state == ParticleState::kMigrating) {
+      // Resumes mid-flight on the owner; the record is the checkpoint.
+      aos_[i].state = ParticleState::kAlive;
+      out.push_back(aos_[i]);
+      ++extracted;
+    } else {
+      if (kept != i) aos_[kept] = aos_[i];
+      ++kept;
+    }
+  }
+  aos_.resize(kept);
+  return extracted;
+}
+
+void Simulation::inject_migrants(const Particle* migrants,
+                                 std::size_t count) {
+  NEUTRAL_REQUIRE(config_.window.active(),
+                  "only windowed runs accept migrants");
+  for (std::size_t i = 0; i < count; ++i) {
+    const Particle& p = migrants[i];
+    NEUTRAL_REQUIRE(window_.contains({p.cellx, p.celly}),
+                    "migrant re-banked on a subdomain that does not own "
+                    "its cell");
+    NEUTRAL_REQUIRE(p.state == ParticleState::kAlive,
+                    "migrant checkpoints must arrive mid-flight (kAlive)");
+    aos_.push_back(p);
+  }
 }
 
 std::int64_t Simulation::surviving_population() const {
@@ -198,7 +348,9 @@ RunResult Simulation::summary() const {
 
   // Budget requires merged tallies; merge is safe/idempotent here.
   const_cast<EnergyTally&>(tally_).merge();
-  r.budget.initial = initial_bank_energy(config_.deck, span_.count);
+  // Windowed runs source only the particles born in their slab; the
+  // per-subdomain budgets telescope to the full bank under merging.
+  r.budget.initial = initial_bank_energy(config_.deck, sourced_count_);
   r.budget.released = accumulated_.released_energy;
   r.budget.in_flight = bank_in_flight_energy();
   r.budget.tally_total = tally_.total();
@@ -208,6 +360,9 @@ RunResult Simulation::summary() const {
   r.tally_checksum = positional_checksum(tally_.data(), tally_.cells());
   r.population = surviving_population();
   r.tally_footprint_bytes = tally_.footprint_bytes();
+  r.peak_mesh_bytes =
+      tally_.footprint_bytes() +
+      static_cast<std::uint64_t>(world_->density.size()) * sizeof(double);
   if (config_.keep_tally_image) {
     r.tally = std::make_shared<const TallyImage>(tally_.image());
   }
@@ -221,6 +376,7 @@ RunResult& RunResult::operator+=(const RunResult& o) {
   budget += o.budget;
   population += o.population;
   tally_footprint_bytes += o.tally_footprint_bytes;
+  peak_mesh_bytes = std::max(peak_mesh_bytes, o.peak_mesh_bytes);
   if (steps.empty()) {
     steps = o.steps;
   } else if (!o.steps.empty()) {

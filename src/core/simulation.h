@@ -86,6 +86,14 @@ struct SimulationConfig {
   /// Copy the merged tally into RunResult::tally (shard jobs need the data
   /// to outlive the Simulation so the reducer can fold it).
   bool keep_tally_image = false;
+  /// Domain decomposition: the mesh slab this run owns.  Inactive (the
+  /// default) = the full mesh.  An active window allocates density/tally
+  /// storage only for the slab, sources only the particles *born* inside
+  /// it, and parks particles crossing out of it as kMigrating —
+  /// batch::run_domains drives the transport_round/extract/inject cycle.
+  /// Windowed runs currently require Over Particles + AoS and a whole-bank
+  /// span.
+  DomainWindow window;
 };
 
 /// Outcome of one timestep.
@@ -105,6 +113,10 @@ struct RunResult {
   double tally_checksum = 0.0;        ///< positional checksum of the tally
   std::int64_t population = 0;        ///< surviving particles
   std::uint64_t tally_footprint_bytes = 0;
+  /// Peak mesh-resident bytes (tally + density slab) this run held — the
+  /// figure domain decomposition exists to shrink.  Merging takes the max,
+  /// so a reduced domain run reports its largest subdomain's slab.
+  std::uint64_t peak_mesh_bytes = 0;
   /// Merged tally snapshot; only populated when the config asked for it
   /// (SimulationConfig::keep_tally_image) or by the shard reducer.
   std::shared_ptr<const TallyImage> tally;
@@ -135,6 +147,13 @@ class Simulation {
   /// takes when many jobs share geometry.  `world` must have been built
   /// from a deck with the same world_fingerprint as `config.deck`.
   Simulation(SimulationConfig config, std::shared_ptr<const World> world);
+
+  /// Windowed run with a prebuilt bank: batch::run_domains samples the
+  /// deck's id space ONCE and routes each birth to its owning subdomain,
+  /// so G subdomains cost one scan instead of G.  `bank` must hold exactly
+  /// the window's births in id order (validated).
+  Simulation(SimulationConfig config, std::shared_ptr<const World> world,
+             std::vector<Particle> bank);
 
   /// Advance one timestep and return its result.
   StepResult step();
@@ -168,13 +187,49 @@ class Simulation {
   /// {0, deck.n_particles} for an unsharded run).
   [[nodiscard]] const ParticleSpan& resolved_span() const { return span_; }
 
+  // --- Domain decomposition (windowed runs; see batch/domain.h) ---------
+
+  /// The mesh slab this run owns (full mesh for ordinary runs).
+  [[nodiscard]] const DomainWindow& window() const { return window_; }
+  /// Current bank size (residents + injected immigrants; includes dead).
+  [[nodiscard]] std::int64_t bank_size() const {
+    return static_cast<std::int64_t>(aos_.size());
+  }
+  /// Particles this run sourced at t=0 (born inside the window).
+  [[nodiscard]] std::int64_t sourced_count() const { return sourced_count_; }
+
+  /// One transport round of a windowed run.  wake=true begins a timestep
+  /// (census -> alive with a fresh dt) — call once per timestep; wake=false
+  /// resumes only freshly injected mid-flight immigrants.  Counters and
+  /// seconds fold into the current timestep's StepResult, so summary()
+  /// reports deck.n_timesteps steps regardless of the round count.
+  StepResult transport_round(bool wake);
+
+  /// Move kMigrating particles out of the bank (appended to `out` in bank
+  /// order, flipped back to kAlive); returns how many were extracted.
+  std::size_t extract_migrants(std::vector<Particle>& out);
+
+  /// Re-bank mid-flight immigrant checkpoints.  Every record's cell must
+  /// lie inside this run's window; the next transport_round(false) resumes
+  /// the histories exactly where the source subdomain parked them.
+  void inject_migrants(const Particle* migrants, std::size_t count);
+
  private:
+  /// Common constructor; `prebuilt` (windowed runs only) is adopted as the
+  /// bank instead of scanning the id space.
+  Simulation(SimulationConfig config, std::shared_ptr<const World> world,
+             std::vector<Particle>* prebuilt);
+
   StepResult step_aos();
   StepResult step_soa();
+  void source_window_bank();
+  void adopt_window_bank(std::vector<Particle> bank);
 
   SimulationConfig config_;
-  ParticleSpan span_;  ///< resolved from config_.span
+  ParticleSpan span_;     ///< resolved from config_.span
   std::shared_ptr<const World> world_;
+  DomainWindow window_;   ///< config_.window, promoted to the full mesh
+  std::int64_t sourced_count_ = 0;  ///< particles sourced at t=0
   EnergyTally tally_;
   std::unique_ptr<PhaseProfiler> profiler_;
 

@@ -11,8 +11,9 @@ StructuredMesh2D make_mesh(const ProblemDeck& d) {
   return StructuredMesh2D(d.nx, d.ny, d.width_cm, d.height_cm);
 }
 
-DensityField make_density(const StructuredMesh2D& mesh, const ProblemDeck& d) {
-  DensityField field(mesh, d.base_density_kg_m3);
+DensityField make_density(const StructuredMesh2D& mesh,
+                          const DomainWindow& window, const ProblemDeck& d) {
+  DensityField field(mesh, window, d.base_density_kg_m3);
   for (const RegionSpec& r : d.regions) {
     field.fill_rect(r.x0, r.y0, r.x1, r.y1, r.density_kg_m3);
   }
@@ -48,12 +49,16 @@ class FingerprintHasher {
 
 }  // namespace
 
-World::World(const ProblemDeck& deck)
+World::World(const ProblemDeck& deck) : World(deck, DomainWindow{}) {}
+
+World::World(const ProblemDeck& deck, const DomainWindow& slab)
     : mesh(make_mesh(deck)),
-      density(make_density(mesh, deck)),
+      window(slab.active() ? slab : DomainWindow::full(mesh)),
+      density(make_density(mesh, window, deck)),
       xs_capture(make_capture_table(deck.xs)),
       xs_scatter(make_scatter_table(deck.xs)),
-      fingerprint(world_fingerprint(deck)) {
+      fingerprint(domain_world_fingerprint(deck, window)) {
+  NEUTRAL_REQUIRE(window.within(mesh), "domain window must fit the mesh");
   // The per-particle cached bin index is shared by both tables, which is
   // only sound when their energy grids coincide (synthetic tables built
   // from one config always do).
@@ -82,6 +87,11 @@ std::shared_ptr<const World> build_world(const ProblemDeck& deck) {
   return std::make_shared<const World>(deck);
 }
 
+std::shared_ptr<const World> build_world(const ProblemDeck& deck,
+                                         const DomainWindow& window) {
+  return std::make_shared<const World>(deck, window);
+}
+
 std::uint64_t world_fingerprint(const ProblemDeck& deck) {
   FingerprintHasher h;
   h.add_i64(deck.nx);
@@ -102,6 +112,23 @@ std::uint64_t world_fingerprint(const ProblemDeck& deck) {
   h.add_double(deck.xs.max_energy_ev);
   h.add_i64(deck.xs.resonances);
   h.add_u64(deck.xs.seed);
+  return h.value();
+}
+
+std::uint64_t domain_world_fingerprint(const ProblemDeck& deck,
+                                       const DomainWindow& window) {
+  const std::uint64_t base = world_fingerprint(deck);
+  if (!window.active() ||
+      (window.x0 == 0 && window.y0 == 0 && window.nx == deck.nx &&
+       window.ny == deck.ny)) {
+    return base;  // full-mesh window: the plain world, cache-compatible
+  }
+  FingerprintHasher h;
+  h.add_u64(base);
+  h.add_i64(window.x0);
+  h.add_i64(window.y0);
+  h.add_i64(window.nx);
+  h.add_i64(window.ny);
   return h.value();
 }
 

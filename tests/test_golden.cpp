@@ -1,0 +1,158 @@
+// Golden-reference test tier.
+//
+// tests/golden/ holds canonical small decks (one per paper problem) plus
+// recorded population/checksum baselines (.results files).  This runner
+// replays each deck through the canonical configuration — Over Particles,
+// AoS, atomic tally, one OpenMP thread: zero reassociation freedom, so the
+// outputs are bit-stable — and fails on ANY drift from the baseline
+// (verify_results with rel_tol = 0, exact event counts).
+//
+// Regenerating baselines after an *intentional* physics change:
+//
+//   NEUTRAL_GOLDEN_UPDATE=1 ./test_golden
+//
+// which rewrites the .results files in the source tree and still runs the
+// comparisons (against the fresh files, so the run passes); commit the
+// diff alongside the change that caused it.
+//
+// The tier also anchors cross-scheme equivalence: on the same decks,
+// over_particles, over_events and the SIMT machine model must agree —
+// exactly where the pipeline is deterministic (compensated tallies round
+// every cell once, so both native schemes produce bit-identical
+// checksums), and within the documented 1e-9 relative tolerance for the
+// machine model's independently accumulated tally.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/simulation.h"
+#include "io/deck_io.h"
+#include "io/results_io.h"
+#include "simt/device.h"
+#include "simt/transport_sim.h"
+
+#ifndef NEUTRAL_GOLDEN_DIR
+#error "NEUTRAL_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace neutral {
+namespace {
+
+const char* const kGoldenDecks[] = {"golden_stream", "golden_scatter",
+                                    "golden_csp"};
+
+std::string deck_path(const std::string& name) {
+  return std::string(NEUTRAL_GOLDEN_DIR) + "/" + name + ".params";
+}
+
+std::string baseline_path(const std::string& name) {
+  return std::string(NEUTRAL_GOLDEN_DIR) + "/" + name + ".results";
+}
+
+/// The canonical golden configuration: deterministic by construction.
+SimulationConfig golden_config(const std::string& name) {
+  SimulationConfig cfg;
+  cfg.deck = load_deck(deck_path(name));
+  cfg.scheme = Scheme::kOverParticles;
+  cfg.layout = Layout::kAoS;
+  cfg.tally_mode = TallyMode::kAtomic;
+  cfg.threads = 1;
+  return cfg;
+}
+
+RunResult run_scheme(const std::string& name, Scheme scheme, Layout layout) {
+  SimulationConfig cfg = golden_config(name);
+  cfg.scheme = scheme;
+  cfg.layout = layout;
+  // Compensated tallies round each cell's deposit multiset once, which is
+  // what makes the cross-scheme checksums exactly equal, not just close.
+  cfg.compensated_tally = true;
+  Simulation sim(std::move(cfg));
+  return sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline drift gate
+// ---------------------------------------------------------------------------
+
+class GoldenBaseline : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenBaseline, MatchesRecordedResultsExactly) {
+  const std::string name = GetParam();
+  const SimulationConfig cfg = golden_config(name);
+  Simulation sim(cfg);
+  const RunResult result = sim.run();
+
+  if (std::getenv("NEUTRAL_GOLDEN_UPDATE") != nullptr) {
+    save_results(make_expected(cfg, result), baseline_path(name));
+  }
+  const ExpectedResults expected = load_results(baseline_path(name));
+  // rel_tol 0: single-threaded atomic accumulation leaves no
+  // reassociation freedom, so the tier fails on any drift at all.
+  const ResultsCheck check =
+      verify_results(expected, cfg, result, /*rel_tol=*/0.0);
+  EXPECT_TRUE(check.passed) << check.detail;
+  EXPECT_EQ(result.counters.censuses, expected.censuses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decks, GoldenBaseline,
+                         ::testing::ValuesIn(kGoldenDecks));
+
+// ---------------------------------------------------------------------------
+// Cross-scheme equivalence on the golden decks
+// ---------------------------------------------------------------------------
+
+class GoldenSchemes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenSchemes, NativeSchemesAgreeBitForBit) {
+  const std::string name = GetParam();
+  const RunResult particles =
+      run_scheme(name, Scheme::kOverParticles, Layout::kAoS);
+  const RunResult events_aos =
+      run_scheme(name, Scheme::kOverEvents, Layout::kAoS);
+  const RunResult events_soa =
+      run_scheme(name, Scheme::kOverEvents, Layout::kSoA);
+
+  for (const RunResult* other : {&events_aos, &events_soa}) {
+    // Histories are keyed by particle id, so every event count partitions
+    // identically across schemes...
+    EXPECT_EQ(other->counters.facets, particles.counters.facets);
+    EXPECT_EQ(other->counters.collisions, particles.counters.collisions);
+    EXPECT_EQ(other->counters.censuses, particles.counters.censuses);
+    EXPECT_EQ(other->counters.rng_draws, particles.counters.rng_draws);
+    EXPECT_EQ(other->population, particles.population);
+    // ...and compensated tallies make even the float outputs exact.
+    EXPECT_EQ(other->tally_checksum, particles.tally_checksum);
+    EXPECT_EQ(other->budget.tally_total, particles.budget.tally_total);
+  }
+}
+
+TEST_P(GoldenSchemes, MachineModelAgreesWithinDocumentedTolerance) {
+  const std::string name = GetParam();
+  const RunResult native =
+      run_scheme(name, Scheme::kOverParticles, Layout::kAoS);
+
+  simt::SimtConfig sc;
+  sc.device = simt::broadwell_2699v4_dual();
+  sc.scheme = Scheme::kOverParticles;
+  sc.deck = golden_config(name).deck;
+  sc.threads = 1;
+  const simt::SimtEstimate est = simt::simulate_transport(sc);
+
+  // Identical physics, independent tally accumulation: integers exact,
+  // floats within 1e-9 relative (the documented cross-scheme tolerance).
+  EXPECT_EQ(est.counters.facets, native.counters.facets);
+  EXPECT_EQ(est.counters.collisions, native.counters.collisions);
+  EXPECT_EQ(est.counters.censuses, native.counters.censuses);
+  EXPECT_NEAR(est.tally_total, native.budget.tally_total,
+              1e-9 * std::abs(native.budget.tally_total));
+  EXPECT_NEAR(est.tally_checksum, native.tally_checksum,
+              1e-9 * std::abs(native.tally_checksum) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Decks, GoldenSchemes,
+                         ::testing::ValuesIn(kGoldenDecks));
+
+}  // namespace
+}  // namespace neutral

@@ -137,5 +137,139 @@ TEST(DeckIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_deck("/nonexistent/path/deck.params"), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Property tests: write -> read -> write is idempotent over randomized
+// decks, and malformed inputs always produce Error, never a crash.
+// ---------------------------------------------------------------------------
+
+/// splitmix64: a tiny deterministic generator for the property loops.
+class PropertyRng {
+ public:
+  explicit PropertyRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform(double lo, double hi) {
+    const double u =
+        static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+  }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_u64() %
+                                          static_cast<std::uint64_t>(
+                                              hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+ProblemDeck random_deck(PropertyRng& rng) {
+  ProblemDeck d;
+  d.name = "prop" + std::to_string(rng.range(0, 999));
+  d.nx = static_cast<std::int32_t>(rng.range(1, 500));
+  d.ny = static_cast<std::int32_t>(rng.range(1, 500));
+  d.width_cm = rng.uniform(1.0, 500.0);
+  d.height_cm = rng.uniform(1.0, 500.0);
+  d.base_density_kg_m3 = rng.uniform(0.0, 2000.0);
+  const std::int64_t n_regions = rng.range(0, 3);
+  for (std::int64_t r = 0; r < n_regions; ++r) {
+    RegionSpec region;
+    region.x0 = rng.uniform(0.0, d.width_cm / 2);
+    region.y0 = rng.uniform(0.0, d.height_cm / 2);
+    region.x1 = region.x0 + rng.uniform(0.0, d.width_cm / 2);
+    region.y1 = region.y0 + rng.uniform(0.0, d.height_cm / 2);
+    region.density_kg_m3 = rng.uniform(0.0, 5000.0);
+    d.regions.push_back(region);
+  }
+  d.src_x0 = rng.uniform(0.0, d.width_cm / 2);
+  d.src_y0 = rng.uniform(0.0, d.height_cm / 2);
+  d.src_x1 = d.src_x0 + rng.uniform(0.0, d.width_cm / 2);
+  d.src_y1 = d.src_y0 + rng.uniform(0.0, d.height_cm / 2);
+  d.initial_energy_ev = rng.uniform(1.0e3, 1.0e7);
+  d.n_particles = rng.range(1, 1000000);
+  d.dt_s = rng.uniform(1.0e-9, 1.0e-6);
+  d.n_timesteps = static_cast<std::int32_t>(rng.range(1, 20));
+  d.seed = rng.next_u64() >> 1;  // parse_int round-trips signed values
+  d.molar_mass_g_mol = rng.uniform(0.1, 300.0);
+  d.mass_number = rng.uniform(1.0, 250.0);
+  d.min_energy_ev = rng.uniform(0.1, 10.0);
+  d.min_weight = rng.uniform(1.0e-12, 1.0e-6);
+  if (rng.range(0, 1) == 1) d.roulette_survival = rng.uniform(0.01, 0.99);
+  d.xs.points = static_cast<std::int32_t>(rng.range(2, 5000));
+  return d;
+}
+
+TEST(DeckIoProperty, WriteReadWriteIsIdempotent) {
+  PropertyRng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    const ProblemDeck original = random_deck(rng);
+    const std::string first = format_deck(original);
+    const ProblemDeck reparsed = parse_deck(first);
+    const std::string second = format_deck(reparsed);
+    // The 17-significant-digit format round-trips every double exactly,
+    // so one write->read cycle reaches the fixed point immediately.
+    ASSERT_EQ(first, second) << "iteration " << iter;
+    ASSERT_EQ(second, format_deck(parse_deck(second)));
+  }
+}
+
+TEST(DeckIoProperty, MalformedDecksErrorInsteadOfCrashing) {
+  // Corrupt a valid deck line by line: truncations, swapped tokens,
+  // garbage values.  Every mutation must either parse (if the damage is
+  // benign, e.g. hitting a comment) or throw neutral::Error — anything
+  // else (crash, uncaught exception type) fails the test harness.
+  PropertyRng rng(7);
+  const std::string valid = format_deck(random_deck(rng));
+  const std::string garbage[] = {
+      "nan", "1e999", "--3", "0x12", "", "particles", "\t", "%f", "1 2 3"};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text = valid;
+    const std::size_t cut = static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(text.size()) - 1));
+    switch (rng.range(0, 3)) {
+      case 0:  // truncate mid-token
+        text.resize(cut);
+        break;
+      case 1:  // splice garbage at a random point
+        text.insert(cut, garbage[rng.range(0, 8)]);
+        break;
+      case 2:  // flip a character
+        text[cut] = static_cast<char>('!' + (rng.next_u64() % 90));
+        break;
+      default:  // duplicate a prefix (repeated/conflicting keys)
+        text += "\n" + text.substr(0, cut);
+        break;
+    }
+    try {
+      (void)parse_deck(text);
+    } catch (const Error&) {
+      // the contract: malformed decks report, never crash
+    }
+  }
+}
+
+TEST(DeckIoProperty, StructuredFieldsSurviveTheRoundTrip) {
+  PropertyRng rng(11);
+  for (int iter = 0; iter < 50; ++iter) {
+    const ProblemDeck original = random_deck(rng);
+    const ProblemDeck reparsed = parse_deck(format_deck(original));
+    ASSERT_EQ(reparsed.regions.size(), original.regions.size());
+    for (std::size_t r = 0; r < original.regions.size(); ++r) {
+      EXPECT_EQ(reparsed.regions[r].x0, original.regions[r].x0);
+      EXPECT_EQ(reparsed.regions[r].y1, original.regions[r].y1);
+      EXPECT_EQ(reparsed.regions[r].density_kg_m3,
+                original.regions[r].density_kg_m3);
+    }
+    EXPECT_EQ(reparsed.seed, original.seed);
+    EXPECT_EQ(reparsed.n_particles, original.n_particles);
+    EXPECT_EQ(reparsed.dt_s, original.dt_s);
+    EXPECT_EQ(reparsed.roulette_survival, original.roulette_survival);
+  }
+}
+
 }  // namespace
 }  // namespace neutral
