@@ -102,8 +102,9 @@ int main(int argc, char** argv) {
     const std::string domains = cli.option(
         "domains", "",
         "domain-decompose every sweep job over an RxC mesh grid (e.g. "
-        "2x2); forces over-particles + AoS and reduces each job to one "
-        "bit-identical row");
+        "2x2); composes with the sweep's scheme/layout axes and with "
+        "--shards (bank spans nested per subdomain), reducing each job to "
+        "one bit-identical row");
     const auto cache_mb = cli.option_int(
         "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
     if (!cli.finish()) return 0;
@@ -133,8 +134,6 @@ int main(int argc, char** argv) {
     // (each solve is itself a fork-join over the pool), so this path has
     // its own table and exits here.
     if (!domains.empty()) {
-      NEUTRAL_REQUIRE(shards == 0,
-                      "--shards (bank) and --domains (mesh) cannot combine");
       NEUTRAL_REQUIRE(!check_serial,
                       "--check-serial compares the plain pipeline; domain "
                       "runs use compensated tallies (use the 1x1-vs-RxC "
@@ -142,31 +141,35 @@ int main(int argc, char** argv) {
       NEUTRAL_REQUIRE(record_dir.empty(),
                       "--record-dir is not supported with --domains");
       const auto [rows, cols] = parse_domain_grid(domains);
+      const std::string shard_note =
+          shards > 1 ? " x " + std::to_string(shards) + " bank shards" : "";
       std::printf("# neutral_batch (%s)\n", host_banner().c_str());
       std::printf("# %zu sweep jobs, each decomposed over a %dx%d domain "
-                  "grid (over-particles/AoS forced)\n",
-                  sweep_jobs.size(), rows, cols);
+                  "grid%s (sweep scheme/layout respected)\n",
+                  sweep_jobs.size(), rows, cols, shard_note.c_str());
       ResultTable table(
           "neutral_batch — " + std::to_string(sweep_jobs.size()) +
               " jobs x " + domains + " domains",
-          {"job", "label", "particles", "grid", "events", "migrations",
-           "rounds", "peak slab [MiB]", "tally checksum", "population",
-           "status"});
+          {"job", "label", "particles", "tally", "grid", "shards", "events",
+           "migrations", "rounds", "peak slab [MiB]", "peak bank [MiB]",
+           "tally checksum", "population", "status"});
       bool domains_ok = true;
       for (const Job& job : sweep_jobs) {
         SimulationConfig config = job.config;
-        // The decomposition is scheme/layout-restricted; pin every job to
-        // the supported pair so sweep axes over scheme/layout still run.
-        // tally_mode is pinned too: expand_sweep rewrites over-events jobs
-        // to kDeferredAtomic, whose per-thread deposit buffers would dwarf
-        // the slab — the very footprint --domains exists to shrink — and
-        // make identical physics report different peak bytes per row.
-        config.scheme = Scheme::kOverParticles;
-        config.layout = Layout::kAoS;
-        config.tally_mode = TallyMode::kAtomic;
+        // Domains compose with every scheme x layout now, so the sweep's
+        // axes run as declared.  The tally mode DEFAULTS to atomic — the
+        // deferred mode expand_sweep defaults over-events jobs to buffers
+        // deposits per thread, which would dwarf the slab (the very
+        // footprint --domains exists to shrink) and make identical
+        // physics report different peak bytes per row; run_domains forces
+        // compensation, so atomic is exact for both schemes.  A mode the
+        // spec NAMED is an explicit experimental choice and is kept, per
+        // the SweepSpec::tally_mode_named contract.
+        if (!spec.tally_mode_named) config.tally_mode = TallyMode::kAtomic;
         DomainOptions domain_options;
         domain_options.rows = rows;
         domain_options.cols = cols;
+        domain_options.shards = shards > 0 ? shards : 1;
         domain_options.group = job.id + 1;
         domain_options.threads_per_domain =
             options.threads_per_job > 0 ? options.threads_per_job : 1;
@@ -181,15 +184,18 @@ int main(int argc, char** argv) {
           table.add_row({std::to_string(job.id), job.label,
                          ResultTable::cell(
                              static_cast<long>(config.deck.n_particles)),
-                         domains, "-", "-", "-", "-", "-", "-",
+                         to_string(config.tally_mode), domains, "-", "-",
+                         "-", "-", "-", "-", "-", "-",
                          "FAIL: " + report.error});
           continue;
         }
         table.add_row(
             {std::to_string(job.id), job.label,
              ResultTable::cell(static_cast<long>(config.deck.n_particles)),
+             to_string(config.tally_mode),
              std::to_string(report.grid.rows) + "x" +
                  std::to_string(report.grid.cols),
+             std::to_string(report.shards),
              ResultTable::cell(static_cast<unsigned long long>(
                  report.merged.counters.total_events())),
              ResultTable::cell(
@@ -197,6 +203,10 @@ int main(int argc, char** argv) {
              std::to_string(report.rounds),
              ResultTable::cell(
                  static_cast<double>(report.peak_mesh_bytes) / (1 << 20),
+                 3),
+             ResultTable::cell(
+                 static_cast<double>(report.merged.peak_bank_bytes) /
+                     (1 << 20),
                  3),
              ResultTable::cell_full(report.merged.tally_checksum),
              ResultTable::cell(static_cast<long>(report.merged.population)),
@@ -274,8 +284,9 @@ int main(int argc, char** argv) {
       ResultTable table(
           "neutral_batch — " + std::to_string(sweep_jobs.size()) +
               " sweep jobs x " + std::to_string(shards) + " shards",
-          {"job", "label", "particles", "shards", "events", "max shard [s]",
-           "imbalance", "tally checksum", "population", "status"});
+          {"job", "label", "particles", "tally", "shards", "events",
+           "max shard [s]", "imbalance", "tally checksum", "population",
+           "status"});
       std::size_t next = 0;
       bool reduced_ok = true;
       for (const Job& job : sweep_jobs) {
@@ -291,6 +302,7 @@ int main(int argc, char** argv) {
           table.add_row({std::to_string(job.id), job.label,
                          ResultTable::cell(
                              static_cast<long>(job.config.deck.n_particles)),
+                         to_string(job.config.tally_mode),
                          std::to_string(group_size), "-", "-", "-", "-", "-",
                          "FAIL: " + group.error});
           continue;
@@ -298,6 +310,7 @@ int main(int argc, char** argv) {
         table.add_row(
             {std::to_string(job.id), job.label,
              ResultTable::cell(static_cast<long>(job.config.deck.n_particles)),
+             to_string(job.config.tally_mode),
              std::to_string(group_size),
              ResultTable::cell(static_cast<unsigned long long>(
                  group.merged.counters.total_events())),
@@ -316,12 +329,13 @@ int main(int argc, char** argv) {
     } else {
       ResultTable table(
           "neutral_batch — " + std::to_string(report.jobs.size()) + " jobs",
-          {"job", "label", "particles", "events", "events/s", "solve [s]",
-           "tally checksum", "world", "worker", "status"});
+          {"job", "label", "particles", "tally", "events", "events/s",
+           "solve [s]", "tally checksum", "world", "worker", "status"});
       for (const JobOutcome& j : report.jobs) {
         table.add_row(
             {std::to_string(j.job_id), j.label,
              ResultTable::cell(static_cast<long>(j.config.deck.n_particles)),
+             to_string(j.config.tally_mode),
              ResultTable::cell(static_cast<unsigned long long>(
                  j.result.counters.total_events())),
              ResultTable::cell(j.result.events_per_second(), 3),

@@ -11,6 +11,8 @@
 //   $ neutral --problem csp --heatmap out.ppm        # deposition image
 //   $ neutral --problem csp --shards 8               # fork-join one deck
 //   $ neutral --problem csp --domains 2x2            # decompose the mesh
+//   $ neutral --problem csp --domains 2x2 --shards 2 --scheme events \
+//       --layout soa                                 # the full cross-product
 #include <cstdio>
 #include <string>
 
@@ -66,6 +68,10 @@ void print_report(const SimulationConfig& cfg, const RunResult& r) {
               "%.1f MB\n",
               r.budget.tally_total, r.tally_checksum,
               static_cast<double>(r.tally_footprint_bytes) / (1 << 20));
+  std::printf("memory         : mesh peak %.1f MB, bank peak %.2f MB "
+              "(particles + event workspace)\n",
+              static_cast<double>(r.peak_mesh_bytes) / (1 << 20),
+              static_cast<double>(r.peak_bank_bytes) / (1 << 20));
   std::printf("population     : %lld surviving of %lld\n",
               static_cast<long long>(r.population),
               static_cast<long long>(cfg.deck.n_particles));
@@ -139,8 +145,9 @@ int main(int argc, char** argv) {
         "domains", "",
         "decompose the MESH into an RxC subdomain grid (e.g. 2x2): each "
         "subdomain materialises only its tally/density slab and particles "
-        "migrate at subdomain facets; any grid reduces to one bit-identical "
-        "result (over-particles + AoS only)");
+        "migrate at subdomain facets; composes with every --scheme/--layout "
+        "and with --shards (bank spans nested per subdomain), and any "
+        "combination reduces to one bit-identical result");
     const auto domain_workers = static_cast<std::int32_t>(cli.option_int(
         "domain-workers", 0,
         "worker threads for domain-decomposed runs (0 = auto)"));
@@ -152,15 +159,15 @@ int main(int argc, char** argv) {
     if (timesteps > 0) config.deck.n_timesteps = static_cast<std::int32_t>(timesteps);
     if (particles > 0) config.deck.n_particles = particles;
     if (config.scheme == Scheme::kOverEvents &&
-        config.tally_mode == TallyMode::kAtomic) {
+        config.tally_mode == TallyMode::kAtomic && domains.empty()) {
       // The paper's Over Events configuration hoists atomics into the
       // separate tally loop (§VI-G); make that the scheme's default.
+      // Domain runs keep atomic instead: run_domains forces compensation
+      // (exact for both schemes) and deferred per-thread deposit buffers
+      // grow with the bank — the footprint --domains exists to cap.  An
+      // explicit --tally deferred is still honoured.
       config.tally_mode = TallyMode::kDeferredAtomic;
     }
-
-    NEUTRAL_REQUIRE(shards == 0 || domains.empty(),
-                    "--shards (bank decomposition) and --domains (mesh "
-                    "decomposition) cannot combine");
 
     std::printf("# neutral-mc (%s)\n", host_banner().c_str());
 
@@ -181,6 +188,8 @@ int main(int argc, char** argv) {
       batch::DomainOptions domain_options;
       domain_options.rows = rows;
       domain_options.cols = cols;
+      // --shards composes: bank spans nested inside every subdomain.
+      domain_options.shards = shards > 0 ? shards : 1;
       domain_options.threads_per_domain = config.threads > 0
                                               ? config.threads
                                               : 1;
@@ -196,10 +205,12 @@ int main(int argc, char** argv) {
           result.tally_footprint_bytes +
           static_cast<std::uint64_t>(config.deck.nx) * config.deck.ny *
               sizeof(double);
-      std::printf("domains        : %dx%d grid, %lld migrations over %d "
-                  "rounds, %.4f s wall; peak slab %.1f MB of %.1f MB full "
-                  "mesh\n",
+      std::printf("domains        : %dx%d grid x %d bank shard%s, %lld "
+                  "migrations over %d rounds, %.4f s wall; peak slab "
+                  "%.1f MB of %.1f MB full mesh\n",
                   domain_report.grid.rows, domain_report.grid.cols,
+                  domain_report.shards,
+                  domain_report.shards == 1 ? "" : "s",
                   static_cast<long long>(domain_report.migrations),
                   domain_report.rounds, domain_report.wall_seconds,
                   static_cast<double>(domain_report.peak_mesh_bytes) /

@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
   scale.particle_scale = 0.05;  // one "large" deck, as in shard_scaling
   const long workers_opt = cli.option_int(
       "workers", 0, "engine workers per transport round (0 = logical cpus)");
+  const std::string scheme_opt = cli.option(
+      "scheme", "particles", "particles|events — domains compose with both");
+  const std::string layout_opt =
+      cli.option("layout", "aos", "aos|soa bank layout");
+  const long shards_opt = cli.option_int(
+      "shards", 1, "bank shards nested inside every subdomain");
   if (!BenchScale::parse(cli, &scale)) return 0;
 
   const std::int32_t hw = probe_host().logical_cpus;
@@ -37,19 +43,23 @@ int main(int argc, char** argv) {
 
   SimulationConfig base;
   base.deck = scale.deck("csp");
+  base.scheme = scheme_from_string(scheme_opt);
+  base.layout = layout_from_string(layout_opt);
   base.threads = 1;
 
   const std::string csv = banner(
       "domain_scaling", "mesh decomposition scaling + determinism gate",
       scale);
-  std::printf("# deck csp, %d x %d cells, %lld particles, %d workers\n",
+  std::printf("# deck csp, %d x %d cells, %lld particles, %d workers, "
+              "%s/%s x %ld bank shards\n",
               base.deck.nx, base.deck.ny,
-              static_cast<long long>(base.deck.n_particles), workers);
+              static_cast<long long>(base.deck.n_particles), workers,
+              to_string(base.scheme), to_string(base.layout), shards_opt);
 
   ResultTable table("domain_scaling — one deck, R x C subdomains",
                     {"grid", "subdomains", "wall [s]", "events/s",
                      "migrations", "rounds", "peak slab [MiB]",
-                     "slab vs full", "tally checksum"});
+                     "slab vs full", "peak bank [MiB]", "tally checksum"});
 
   const std::pair<std::int32_t, std::int32_t> grids[] = {
       {1, 1}, {1, 2}, {2, 2}, {2, 4}, {4, 4}};
@@ -65,6 +75,7 @@ int main(int argc, char** argv) {
     batch::DomainOptions opt;
     opt.rows = rows;
     opt.cols = cols;
+    opt.shards = static_cast<std::int32_t>(shards_opt > 0 ? shards_opt : 1);
 
     double wall = 1.0e300;
     batch::DomainRunReport best;
@@ -105,6 +116,9 @@ int main(int argc, char** argv) {
                                      static_cast<double>(full_slab)
                                : 1.0,
                            3),
+         ResultTable::cell(
+             static_cast<double>(best.merged.peak_bank_bytes) / (1 << 20),
+             3),
          ResultTable::cell_full(best.merged.tally_checksum)});
   }
 

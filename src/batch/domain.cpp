@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 
+#include "batch/shard.h"
 #include "core/init.h"
 #include "core/validation.h"
 #include "runtime/timer.h"
@@ -34,6 +35,17 @@ std::int32_t find_extent(const std::vector<std::int32_t>& starts,
   // starts is sorted; the owning extent is the last start <= v.
   const auto it = std::upper_bound(starts.begin(), starts.end(), v);
   return static_cast<std::int32_t>(it - starts.begin()) - 1;
+}
+
+/// Index of the span owning particle id `id` (spans are the contiguous,
+/// ascending partition plan_shards produces).
+std::size_t span_of(const std::vector<ParticleSpan>& spans,
+                    std::uint64_t id) {
+  const auto sid = static_cast<std::int64_t>(id);
+  const auto it = std::upper_bound(
+      spans.begin(), spans.end(), sid,
+      [](std::int64_t v, const ParticleSpan& s) { return v < s.first_id; });
+  return static_cast<std::size_t>(it - spans.begin()) - 1;
 }
 
 }  // namespace
@@ -99,16 +111,26 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
                   "window");
   NEUTRAL_REQUIRE(opt.group != 0,
                   "domain rounds need a non-zero fork-join group");
+  NEUTRAL_REQUIRE(opt.shards >= 1,
+                  "domain runs need at least one bank shard per subdomain");
   WallTimer wall;
   DomainRunReport report;
   report.grid = plan_domains(base.deck.nx, base.deck.ny, opt.rows, opt.cols);
-  const std::size_t n = report.grid.count();
+  const std::size_t n_domains = report.grid.count();
+  // Bank shards nested inside every subdomain: partial solve (d, s) holds
+  // the births in window d whose ids fall in span s, index d * S + s.
+  const std::vector<ParticleSpan> spans =
+      plan_shards(base.deck.n_particles, opt.shards);
+  const std::size_t n_spans = spans.size();
+  report.shards = static_cast<std::int32_t>(n_spans);
+  const std::size_t n = n_domains * n_spans;
 
-  // Slab worlds, through the engine's cache so domain runs of sweep jobs
-  // sharing geometry reuse one world per window instead of rebuilding
-  // mesh + XS tables per job.
+  // Slab worlds (one per window, shared by that window's shard sims),
+  // through the engine's cache so domain runs of sweep jobs sharing
+  // geometry reuse one world per window instead of rebuilding mesh + XS
+  // tables per job.
   std::vector<std::shared_ptr<const World>> worlds;
-  worlds.reserve(n);
+  worlds.reserve(n_domains);
   for (std::int32_t r = 0; r < report.grid.rows; ++r) {
     for (std::int32_t c = 0; c < report.grid.cols; ++c) {
       const DomainWindow window = report.grid.window(r, c);
@@ -118,24 +140,27 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
     }
   }
 
-  // One pass over the id space routes every birth to its owning subdomain:
-  // G subdomains cost one scan, not G.  route_births owns the id-order
-  // invariant.  (Every slab world carries the full edge arrays, so any of
-  // them can locate births.)
+  // One pass over the id space routes every birth to its owning partial
+  // solve: G x S banks cost one scan, not G x S.  route_births owns the
+  // id-order invariant.  (Every slab world carries the full edge arrays,
+  // so any of them can locate births.)
   std::vector<std::vector<Particle>> banks = route_births(
       base.deck, worlds.front()->mesh, n,
-      [&grid = report.grid](const Particle& p) {
-        return grid.owner({p.cellx, p.celly});
+      [&grid = report.grid, &spans, n_spans](const Particle& p) {
+        return grid.owner({p.cellx, p.celly}) * n_spans +
+               span_of(spans, p.id);
       });
 
-  // Per-subdomain Simulations: compensated tallies + kept images (the PR 2
-  // reduction contract), atomic promoted to privatized when a round may run
-  // more than one thread — exactly the shard-job rule.
+  // Per-(subdomain, span) Simulations: compensated tallies + kept images
+  // (the PR 2 reduction contract), atomic promoted to privatized when a
+  // round may run more than one thread — exactly the shard-job rule.
   std::vector<std::unique_ptr<Simulation>> sims;
   sims.reserve(n);
-  for (std::size_t d = 0; d < n; ++d) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = i / n_spans;
     SimulationConfig cfg = base;
     cfg.window = worlds[d]->window;
+    cfg.span = spans[i % n_spans];
     cfg.compensated_tally = true;
     cfg.keep_tally_image = true;
     cfg.threads = opt.threads_per_domain > 0 ? opt.threads_per_domain : 1;
@@ -143,7 +168,7 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
       cfg.tally_mode = TallyMode::kPrivatized;
     }
     sims.push_back(std::make_unique<Simulation>(cfg, worlds[d],
-                                                std::move(banks[d])));
+                                                std::move(banks[i])));
     report.sourced.push_back(sims.back()->sourced_count());
   }
 
@@ -154,14 +179,18 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
                        bool wake) -> bool {
     std::vector<Job> jobs;
     jobs.reserve(active.size());
-    for (std::size_t d : active) {
+    for (std::size_t i : active) {
       Job job;
       job.id = next_job_id++;
       job.group = opt.group;
       job.priority = opt.priority;
-      job.label = "domain " + std::to_string(d) + "/" + std::to_string(n) +
+      job.label = "domain " + std::to_string(i / n_spans) + "/" +
+                  std::to_string(n_domains) +
+                  (n_spans > 1 ? " shard " + std::to_string(i % n_spans) +
+                                     "/" + std::to_string(n_spans)
+                               : std::string()) +
                   (wake ? " wake" : " resume");
-      job.work = [sim = sims[d].get(), wake] {
+      job.work = [sim = sims[i].get(), wake] {
         sim->transport_round(wake);
         return RunResult{};
       };
@@ -192,32 +221,41 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
       wake = false;
 
       outbound.clear();
-      for (std::size_t d = 0; d < n; ++d) {
-        sims[d]->extract_migrants(outbound);
+      for (std::size_t i = 0; i < n; ++i) {
+        sims[i]->extract_migrants(outbound);
       }
       report.migrations += static_cast<std::int64_t>(outbound.size());
       for (const Particle& p : outbound) {
-        inbox[report.grid.owner({p.cellx, p.celly})].push_back(p);
+        // The owner of a checkpoint is the (window, id-span) pair — the
+        // subdomain whose slab holds its cell AND the shard whose span
+        // holds its id.
+        inbox[report.grid.owner({p.cellx, p.celly}) * n_spans +
+              span_of(spans, p.id)]
+            .push_back(p);
       }
       active.clear();
-      for (std::size_t d = 0; d < n; ++d) {
-        if (inbox[d].empty()) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (inbox[i].empty()) continue;
         // Deterministic drain order: immigrants re-bank sorted by id, so
         // the bank contents are invariant to extraction/worker order.
-        std::sort(inbox[d].begin(), inbox[d].end(),
+        std::sort(inbox[i].begin(), inbox[i].end(),
                   [](const Particle& a, const Particle& b) {
                     return a.id < b.id;
                   });
-        sims[d]->inject_migrants(inbox[d].data(), inbox[d].size());
-        inbox[d].clear();
-        active.push_back(d);
+        sims[i]->inject_migrants(inbox[i].data(), inbox[i].size());
+        inbox[i].clear();
+        active.push_back(i);
       }
     }
   }
 
   // Reduce: extensive sums via RunResult::operator+=, then stitch the
   // disjoint tally slabs into the full grid and fold through a compensated
-  // tally (the PR 2 machinery) to recompute checksum/total/image.
+  // tally (the PR 2 machinery) to recompute checksum/total/image.  With
+  // nested bank shards a window owns several slab images; they fold first
+  // through a window-sized compensated tally in shard order — exact
+  // double-double addition, so the stitched (sum, comp) pairs carry each
+  // cell's full deposit multiset no matter how it was partitioned.
   const std::int64_t full_cells =
       static_cast<std::int64_t>(base.deck.nx) * base.deck.ny;
   TallyImage stitched;
@@ -225,14 +263,35 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
   stitched.lo.assign(static_cast<std::size_t>(full_cells), 0.0);
   RunResult merged;
   std::uint64_t peak = 0;
-  for (std::size_t d = 0; d < n; ++d) {
-    const RunResult part = sims[d]->summary();
-    NEUTRAL_REQUIRE(part.tally != nullptr,
-                    "subdomain result must carry a tally image");
-    peak = std::max(peak, part.peak_mesh_bytes);
-    merged += part;
+  for (std::size_t d = 0; d < n_domains; ++d) {
+    const DomainWindow& w = worlds[d]->window;
+    std::shared_ptr<const TallyImage> slab;
+    if (n_spans == 1) {
+      // One image per window: stitch it directly (the fold below would
+      // reproduce it bit-for-bit at the cost of an extra tally pass).
+      const RunResult part = sims[d]->summary();
+      NEUTRAL_REQUIRE(part.tally != nullptr,
+                      "subdomain result must carry a tally image");
+      peak = std::max(peak, part.peak_mesh_bytes);
+      merged += part;
+      slab = part.tally;
+    } else {
+      EnergyTally window_fold(w.num_cells(), TallyMode::kAtomic,
+                              /*threads=*/1, /*compensated=*/true);
+      for (std::size_t s = 0; s < n_spans; ++s) {
+        const RunResult part = sims[d * n_spans + s]->summary();
+        NEUTRAL_REQUIRE(part.tally != nullptr,
+                        "subdomain result must carry a tally image");
+        peak = std::max(peak, part.peak_mesh_bytes);
+        merged += part;
+        window_fold.accumulate(*part.tally);
+      }
+      // Normalise per the accumulate() contract; a fixed point for the
+      // (sum, comp) pairs, so the stitched values are unchanged.
+      window_fold.merge();
+      slab = std::make_shared<const TallyImage>(window_fold.image());
+    }
 
-    const DomainWindow& w = sims[d]->window();
     for (std::int32_t j = 0; j < w.ny; ++j) {
       const std::size_t src = static_cast<std::size_t>(j) *
                               static_cast<std::size_t>(w.nx);
@@ -240,11 +299,9 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
           static_cast<std::size_t>(w.y0 + j) *
               static_cast<std::size_t>(base.deck.nx) +
           static_cast<std::size_t>(w.x0);
-      std::copy_n(part.tally->hi.begin() + static_cast<std::ptrdiff_t>(src),
-                  w.nx,
+      std::copy_n(slab->hi.begin() + static_cast<std::ptrdiff_t>(src), w.nx,
                   stitched.hi.begin() + static_cast<std::ptrdiff_t>(dst));
-      std::copy_n(part.tally->lo.begin() + static_cast<std::ptrdiff_t>(src),
-                  w.nx,
+      std::copy_n(slab->lo.begin() + static_cast<std::ptrdiff_t>(src), w.nx,
                   stitched.lo.begin() + static_cast<std::ptrdiff_t>(dst));
     }
   }

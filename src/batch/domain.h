@@ -71,6 +71,14 @@ std::pair<std::int32_t, std::int32_t> parse_domain_grid(
 struct DomainOptions {
   std::int32_t rows = 1;
   std::int32_t cols = 1;
+  /// Bank shards nested inside every subdomain (>= 1): the deck's id space
+  /// is split into this many contiguous spans (batch::plan_shards) and
+  /// each subdomain hosts one Simulation per span, holding the births in
+  /// window ∩ span.  Migrants route to the (window owner, id span) pair,
+  /// so spatial and bank decomposition compose — and stay bit-identical,
+  /// because the per-window shard slabs fold through the same compensated
+  /// reduction as plain shards.
+  std::int32_t shards = 1;
   /// OpenMP threads per subdomain transport round (>= 1).  Any value
   /// preserves the bit-identical reduction; 1 maximises across-subdomain
   /// concurrency.
@@ -87,7 +95,9 @@ struct DomainRunReport {
   std::string error;       ///< first failed round job when !ok
   RunResult merged;        ///< stitched full-grid result; valid when ok
   DomainGrid grid;
-  /// Initial bank size of each subdomain (particles born in its slab).
+  std::int32_t shards = 1; ///< bank shards per subdomain (DomainOptions)
+  /// Initial bank size of each partial solve, subdomain-major then shard
+  /// (particles born in its slab whose ids fall in its span).
   std::vector<std::int64_t> sourced;
   std::int64_t migrations = 0;  ///< checkpoints exchanged over the run
   std::int32_t rounds = 0;      ///< transport rounds over all timesteps
@@ -97,10 +107,14 @@ struct DomainRunReport {
   double wall_seconds = 0.0;
 };
 
-/// Decompose one deck over an R x C grid and run it on `engine`.  The
-/// merged tally checksum and population are bit-identical to the unsharded
-/// compensated run for any grid at any worker count.  `base` must be an
-/// Over Particles / AoS config with a whole-bank span.
+/// Decompose one deck over an R x C grid (optionally × opt.shards bank
+/// spans per subdomain) and run it on `engine`.  Every scheme × layout
+/// composes: the ParticleBank converts migrant checkpoints at layout
+/// boundaries and Over Events rounds re-stream their workspace.  The
+/// merged tally checksum and population are bit-identical to the
+/// undecomposed compensated run for any grid × shard count at any worker
+/// count.  `base` must carry a whole-bank span and no window (the
+/// decomposition owns both axes).
 DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
                             const DomainOptions& opt = {});
 

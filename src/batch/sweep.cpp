@@ -105,8 +105,11 @@ std::vector<Job> expand_sweep(const SweepSpec& spec) {
                     rng::derive_stream_seed(spec.batch_seed, id);
               }
               // §VI-G: Over Events hoists atomics into the separate tally
-              // loop; mirror the driver binary's defaulting.
-              if (cfg.scheme == Scheme::kOverEvents &&
+              // loop; mirror the driver binary's defaulting — but only
+              // when the spec did not name a tally mode.  A named mode is
+              // an explicit experimental choice and is never rewritten.
+              if (!spec.tally_mode_named &&
+                  cfg.scheme == Scheme::kOverEvents &&
                   cfg.tally_mode == TallyMode::kAtomic) {
                 cfg.tally_mode = TallyMode::kDeferredAtomic;
               }
@@ -180,6 +183,7 @@ SweepSpec parse_sweep(const std::string& text) {
     } else if (key == "tally") {
       need(1);
       spec.base.tally_mode = tally_mode_from_string(args[0]);
+      spec.tally_mode_named = true;
     } else if (key == "lookup") {
       need(1);
       spec.base.lookup = lookup_from_string(args[0]);

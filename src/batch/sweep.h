@@ -58,6 +58,12 @@ struct SweepAxes {
 struct SweepSpec {
   /// Base configuration every job starts from (deck included).
   SimulationConfig base;
+  /// True when the spec named a tally mode (`tally <mode>`).  expand_sweep
+  /// only applies the §VI-G over-events default (atomic -> deferred) when
+  /// the mode was NOT named — an explicit choice is never rewritten.  The
+  /// effective mode is recorded per row in the neutral_batch CSV either
+  /// way, so sweep rows are self-describing.
+  bool tally_mode_named = false;
   /// Name passed to deck_by_name for the mesh_scale axis; empty for custom
   /// decks (then `axis mesh_scale` is an error).
   std::string deck_name;

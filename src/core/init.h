@@ -75,22 +75,9 @@ void initialise_particles(const View& v, const ProblemDeck& deck,
   const auto n = static_cast<std::int64_t>(v.size());
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < n; ++i) {
-    const Particle p =
-        sample_birth(deck, mesh, static_cast<std::uint64_t>(first_id + i));
-    v.x(i) = p.x;
-    v.y(i) = p.y;
-    v.omega_x(i) = p.omega_x;
-    v.omega_y(i) = p.omega_y;
-    v.energy(i) = p.energy;
-    v.weight(i) = p.weight;
-    v.dt_to_census(i) = p.dt_to_census;
-    v.mfp_to_collision(i) = p.mfp_to_collision;
-    v.cellx(i) = p.cellx;
-    v.celly(i) = p.celly;
-    v.xs_index(i) = p.xs_index;
-    v.state(i) = p.state;
-    v.rng_counter(i) = p.rng_counter;
-    v.id(i) = p.id;
+    write_record(v, static_cast<std::size_t>(i),
+                 sample_birth(deck, mesh,
+                              static_cast<std::uint64_t>(first_id + i)));
   }
 }
 

@@ -20,6 +20,10 @@ OverEventsKernelTimes& OverEventsKernelTimes::operator+=(
 }
 
 OverEventsWorkspace::OverEventsWorkspace(std::size_t n_particles) {
+  resize(n_particles);
+}
+
+void OverEventsWorkspace::resize(std::size_t n_particles) {
   micro_a_.resize(n_particles);
   micro_s_.resize(n_particles);
   number_density_.resize(n_particles);
@@ -130,7 +134,9 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
       static_cast<std::size_t>(max_threads));
   NoHooks hooks;
 
-  // Wake survivors and (re)build their streamed flight state.
+  // Wake survivors and (re)build their streamed flight state.  Resume
+  // rounds (wake_census false — domain decomposition) leave census
+  // residents parked and re-stream only the already-alive immigrants.
 #pragma omp parallel
   {
     const std::int32_t t = omp_get_thread_num();
@@ -138,7 +144,7 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     NoHooks hk;
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) {
-      if (v.state(i) == ParticleState::kCensus) {
+      if (opt.wake_census && v.state(i) == ParticleState::kCensus) {
         v.state(i) = ParticleState::kAlive;
         v.dt_to_census(i) = dt_s;
       }

@@ -16,6 +16,13 @@
 
 namespace neutral {
 
+/// Particle storage layout (§VI-D, Fig 5).  Owned by ParticleBank
+/// (core/bank.h); declared here with the storage types it selects between.
+enum class Layout : std::uint8_t {
+  kAoS = 0,  ///< array of particle records
+  kSoA = 1,  ///< one array per field
+};
+
 /// Life-cycle state of a particle within a timestep.
 enum class ParticleState : std::uint8_t {
   kCensus = 0,  ///< alive, waiting for the next timestep (or newly born)
@@ -129,5 +136,54 @@ class SoaView {
  private:
   ParticleSoA* s_;
 };
+
+/// Gather slot `i` of any view into a canonical AoS record — the wire
+/// format particle checkpoints travel in between banks (shard hand-off,
+/// subdomain migration), whatever layout either side stores.
+template <class View>
+inline Particle read_record(const View& v, std::size_t i) {
+  Particle p;
+  p.x = v.x(i);
+  p.y = v.y(i);
+  p.omega_x = v.omega_x(i);
+  p.omega_y = v.omega_y(i);
+  p.energy = v.energy(i);
+  p.weight = v.weight(i);
+  p.dt_to_census = v.dt_to_census(i);
+  p.mfp_to_collision = v.mfp_to_collision(i);
+  p.cellx = v.cellx(i);
+  p.celly = v.celly(i);
+  p.xs_index = v.xs_index(i);
+  p.state = v.state(i);
+  p.rng_counter = v.rng_counter(i);
+  p.id = v.id(i);
+  return p;
+}
+
+/// Scatter a canonical record into slot `i` of any view (the inverse
+/// boundary conversion).
+template <class View>
+inline void write_record(const View& v, std::size_t i, const Particle& p) {
+  v.x(i) = p.x;
+  v.y(i) = p.y;
+  v.omega_x(i) = p.omega_x;
+  v.omega_y(i) = p.omega_y;
+  v.energy(i) = p.energy;
+  v.weight(i) = p.weight;
+  v.dt_to_census(i) = p.dt_to_census;
+  v.mfp_to_collision(i) = p.mfp_to_collision;
+  v.cellx(i) = p.cellx;
+  v.celly(i) = p.celly;
+  v.xs_index(i) = p.xs_index;
+  v.state(i) = p.state;
+  v.rng_counter(i) = p.rng_counter;
+  v.id(i) = p.id;
+}
+
+/// Copy one slot of a view onto another slot (bank compaction).
+template <class View>
+inline void copy_record(const View& v, std::size_t dst, std::size_t src) {
+  write_record(v, dst, read_record(v, src));
+}
 
 }  // namespace neutral

@@ -102,7 +102,8 @@ Simulation::Simulation(SimulationConfig config,
       tally_(window_.num_cells(),
              config_.tally_mode,
              config_.threads > 0 ? config_.threads : omp_get_max_threads(),
-             config_.compensated_tally) {
+             config_.compensated_tally),
+      bank_(config_.layout) {
   NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
   NEUTRAL_REQUIRE(span_.first_id >= 0 && span_.count > 0 &&
                       span_.first_id + span_.count <= config_.deck.n_particles,
@@ -115,19 +116,11 @@ Simulation::Simulation(SimulationConfig config,
       "shared world was built from a different deck geometry or window");
   NEUTRAL_REQUIRE(world_->window == window_,
                   "shared world covers a different mesh window");
-  if (config_.window.active()) {
-    // Windowed (domain-decomposed) runs: the transport kernels park
-    // particles leaving the slab, so only the register-cached Over
-    // Particles scheme with an AoS bank (a Particle record doubles as the
-    // migration checkpoint) is supported, and the bank must be the whole
-    // deck — spatial and bank decomposition do not compose.
-    NEUTRAL_REQUIRE(config_.scheme == Scheme::kOverParticles,
-                    "domain windows require the over-particles scheme");
-    NEUTRAL_REQUIRE(config_.layout == Layout::kAoS,
-                    "domain windows require the AoS particle layout");
-    NEUTRAL_REQUIRE(config_.span.whole_bank(),
-                    "domain windows and particle spans cannot combine");
-  }
+  // Windowed (domain-decomposed) runs compose with every scheme, layout
+  // and particle span: the bank converts migrant checkpoints at the
+  // boundary and the Over Events workspace re-streams per round, so no
+  // configuration restriction applies beyond the span/window validity
+  // checks above.
 
   if (config_.threads > 0) set_thread_count(config_.threads);
   if (config_.profile) {
@@ -156,39 +149,38 @@ Simulation::Simulation(SimulationConfig config,
     } else {
       source_window_bank();
     }
-    sourced_count_ = static_cast<std::int64_t>(aos_.size());
+    sourced_count_ = static_cast<std::int64_t>(bank_.size());
+    note_bank_peak();
     return;
   }
   NEUTRAL_REQUIRE(prebuilt == nullptr,
                   "prebuilt banks are a windowed-run feature");
 
-  const auto n = static_cast<std::size_t>(span_.count);
   sourced_count_ = span_.count;
-  if (config_.layout == Layout::kAoS) {
-    aos_.resize(n);
-    initialise_particles(AosView(aos_.data(), n), config_.deck, world_->mesh,
-                         span_.first_id);
-  } else {
-    soa_.resize(n);
-    initialise_particles(SoaView(soa_), config_.deck, world_->mesh,
-                         span_.first_id);
-  }
-  if (config_.scheme == Scheme::kOverEvents) {
-    workspace_ = std::make_unique<OverEventsWorkspace>(n);
-  }
+  bank_.source_span(config_.deck, world_->mesh, span_.first_id, span_.count);
+  note_bank_peak();
+}
+
+void Simulation::note_bank_peak() {
+  const std::uint64_t bytes =
+      bank_.footprint_bytes() +
+      (workspace_ != nullptr ? workspace_->footprint_bytes() : 0);
+  peak_bank_bytes_ = std::max(peak_bank_bytes_, bytes);
 }
 
 void Simulation::source_window_bank() {
   // Scan the full id space and keep the particles *born* inside the
-  // window: each id costs only its 4 birth draws, so the scan is
-  // O(n_particles) time but the bank is O(particles in the slab) memory —
-  // the point of decomposing.  route_births owns the id-order invariant.
+  // window whose ids the span covers: each id costs only its 4 birth
+  // draws, so the scan is O(n_particles) time but the bank is O(particles
+  // in the slab) memory — the point of decomposing.  route_births owns
+  // the id-order invariant.
   std::vector<std::vector<Particle>> banks = route_births(
       config_.deck, world_->mesh, 1, [this](const Particle& p) {
-        return window_.contains({p.cellx, p.celly}) ? std::size_t{0}
-                                                    : std::size_t{1};
+        return window_.contains({p.cellx, p.celly}) && span_.contains(p.id)
+                   ? std::size_t{0}
+                   : std::size_t{1};
       });
-  aos_ = std::move(banks.front());
+  bank_.assign(std::move(banks.front()));
 }
 
 void Simulation::adopt_window_bank(std::vector<Particle> bank) {
@@ -198,47 +190,44 @@ void Simulation::adopt_window_bank(std::vector<Particle> bank) {
     NEUTRAL_REQUIRE(window_.contains({p.cellx, p.celly}),
                     "prebuilt bank holds a particle born outside the "
                     "window");
+    NEUTRAL_REQUIRE(span_.contains(p.id),
+                    "prebuilt bank holds a particle outside the span");
     NEUTRAL_REQUIRE(p.state == ParticleState::kCensus,
                     "prebuilt bank records must be unborn (kCensus)");
     NEUTRAL_REQUIRE(i == 0 || p.id > last_id,
                     "prebuilt bank must be in strict id order");
     last_id = p.id;
   }
-  aos_ = std::move(bank);
+  bank_.assign(std::move(bank));
 }
 
-StepResult Simulation::step_aos() {
+StepResult Simulation::step_transport(bool wake_census) {
   StepResult result;
-  AosView view(aos_.data(), aos_.size());
   WallTimer timer;
   if (config_.scheme == Scheme::kOverParticles) {
     OverParticlesOptions opt;
     opt.schedule = config_.schedule;
     opt.profile = config_.profile;
-    result.counters = over_particles_step(view, ctx_, config_.deck.dt_s, opt);
+    opt.wake_census = wake_census;
+    result.counters = bank_.with_view([&](const auto& view) {
+      return over_particles_step(view, ctx_, config_.deck.dt_s, opt);
+    });
   } else {
-    result.counters =
-        over_events_step(view, ctx_, config_.deck.dt_s, config_.over_events,
-                         *workspace_, &result.kernel_times);
-  }
-  if (tally_.merge_each_step()) tally_.merge();
-  result.seconds = timer.seconds();
-  return result;
-}
-
-StepResult Simulation::step_soa() {
-  StepResult result;
-  SoaView view(soa_);
-  WallTimer timer;
-  if (config_.scheme == Scheme::kOverParticles) {
-    OverParticlesOptions opt;
-    opt.schedule = config_.schedule;
-    opt.profile = config_.profile;
-    result.counters = over_particles_step(view, ctx_, config_.deck.dt_s, opt);
-  } else {
-    result.counters =
-        over_events_step(view, ctx_, config_.deck.dt_s, config_.over_events,
-                         *workspace_, &result.kernel_times);
+    // Size the flight-state workspace to the bank: immigrant injection
+    // grows it, migrant extraction shrinks it, and the drive prologue
+    // re-streams every in-flight particle, so a bare resize suffices.
+    if (workspace_ == nullptr) {
+      workspace_ = std::make_unique<OverEventsWorkspace>(bank_.size());
+    } else if (workspace_->size() != bank_.size()) {
+      workspace_->resize(bank_.size());
+    }
+    note_bank_peak();
+    OverEventsOptions opt = config_.over_events;
+    opt.wake_census = wake_census;
+    result.counters = bank_.with_view([&](const auto& view) {
+      return over_events_step(view, ctx_, config_.deck.dt_s, opt,
+                              *workspace_, &result.kernel_times);
+    });
   }
   if (tally_.merge_each_step()) tally_.merge();
   result.seconds = timer.seconds();
@@ -249,8 +238,7 @@ StepResult Simulation::step() {
   NEUTRAL_REQUIRE(!config_.window.active(),
                   "windowed simulations are driven round-by-round "
                   "(transport_round) by batch::run_domains, not step()");
-  StepResult result =
-      config_.layout == Layout::kAoS ? step_aos() : step_soa();
+  StepResult result = step_transport(/*wake_census=*/true);
   accumulated_ += result.counters;
   accumulated_kernel_times_ += result.kernel_times;
   total_seconds_ += result.seconds;
@@ -266,19 +254,10 @@ StepResult Simulation::transport_round(bool wake) {
   // thread budget the tally was built for (the constructor only pinned the
   // constructing thread).
   if (config_.threads > 0) set_thread_count(config_.threads);
-  StepResult result;
-  AosView view(aos_.data(), aos_.size());
-  WallTimer timer;
-  OverParticlesOptions opt;
-  opt.schedule = config_.schedule;
-  opt.profile = config_.profile;
-  opt.wake_census = wake;
-  result.counters =
-      over_particles_step(view, ctx_, config_.deck.dt_s, opt);
-  if (tally_.merge_each_step()) tally_.merge();
-  result.seconds = timer.seconds();
+  StepResult result = step_transport(wake);
 
   accumulated_ += result.counters;
+  accumulated_kernel_times_ += result.kernel_times;
   total_seconds_ += result.seconds;
   if (wake || step_results_.empty()) {
     // A wake round opens the timestep's StepResult; resume rounds fold
@@ -292,21 +271,7 @@ StepResult Simulation::transport_round(bool wake) {
 }
 
 std::size_t Simulation::extract_migrants(std::vector<Particle>& out) {
-  std::size_t kept = 0;
-  std::size_t extracted = 0;
-  for (std::size_t i = 0; i < aos_.size(); ++i) {
-    if (aos_[i].state == ParticleState::kMigrating) {
-      // Resumes mid-flight on the owner; the record is the checkpoint.
-      aos_[i].state = ParticleState::kAlive;
-      out.push_back(aos_[i]);
-      ++extracted;
-    } else {
-      if (kept != i) aos_[kept] = aos_[i];
-      ++kept;
-    }
-  }
-  aos_.resize(kept);
-  return extracted;
+  return bank_.extract_migrants(out);
 }
 
 void Simulation::inject_migrants(const Particle* migrants,
@@ -318,25 +283,13 @@ void Simulation::inject_migrants(const Particle* migrants,
     NEUTRAL_REQUIRE(window_.contains({p.cellx, p.celly}),
                     "migrant re-banked on a subdomain that does not own "
                     "its cell");
+    NEUTRAL_REQUIRE(span_.contains(p.id),
+                    "migrant re-banked on a shard that does not own its id");
     NEUTRAL_REQUIRE(p.state == ParticleState::kAlive,
                     "migrant checkpoints must arrive mid-flight (kAlive)");
-    aos_.push_back(p);
   }
-}
-
-std::int64_t Simulation::surviving_population() const {
-  if (config_.layout == Layout::kAoS) {
-    return population(AosView(const_cast<Particle*>(aos_.data()), aos_.size()));
-  }
-  return population(SoaView(const_cast<ParticleSoA&>(soa_)));
-}
-
-double Simulation::bank_in_flight_energy() const {
-  if (config_.layout == Layout::kAoS) {
-    return in_flight_energy(
-        AosView(const_cast<Particle*>(aos_.data()), aos_.size()));
-  }
-  return in_flight_energy(SoaView(const_cast<ParticleSoA&>(soa_)));
+  bank_.inject(migrants, count);
+  note_bank_peak();
 }
 
 RunResult Simulation::summary() const {
@@ -363,6 +316,7 @@ RunResult Simulation::summary() const {
   r.peak_mesh_bytes =
       tally_.footprint_bytes() +
       static_cast<std::uint64_t>(world_->density.size()) * sizeof(double);
+  r.peak_bank_bytes = peak_bank_bytes_;
   if (config_.keep_tally_image) {
     r.tally = std::make_shared<const TallyImage>(tally_.image());
   }
@@ -377,6 +331,7 @@ RunResult& RunResult::operator+=(const RunResult& o) {
   population += o.population;
   tally_footprint_bytes += o.tally_footprint_bytes;
   peak_mesh_bytes = std::max(peak_mesh_bytes, o.peak_mesh_bytes);
+  peak_bank_bytes = std::max(peak_bank_bytes, o.peak_bank_bytes);
   if (steps.empty()) {
     steps = o.steps;
   } else if (!o.steps.empty()) {

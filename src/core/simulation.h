@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bank.h"
 #include "core/context.h"
 #include "core/counters.h"
 #include "core/deck.h"
@@ -33,10 +34,8 @@ enum class Scheme : std::uint8_t {
 };
 const char* to_string(Scheme s);
 
-enum class Layout : std::uint8_t {
-  kAoS = 0,  ///< array of particle records (§VI-D)
-  kSoA = 1,  ///< one array per field
-};
+// Layout lives in core/particle.h (the storage it selects between);
+// ParticleBank (core/bank.h) owns the polymorphism.
 const char* to_string(Layout l);
 
 /// Parse the user-facing names the CLI and sweep specs accept; throw
@@ -64,6 +63,13 @@ struct ParticleSpan {
     return count == 0 ? deck_particles - first_id : count;
   }
   [[nodiscard]] bool whole_bank() const { return first_id == 0 && count == 0; }
+  /// Does a RESOLVED span (count > 0) cover particle id `id`?  The single
+  /// membership definition bank sourcing, migrant routing and prebuilt-bank
+  /// validation all share.
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    const auto sid = static_cast<std::int64_t>(id);
+    return sid >= first_id && sid < first_id + count;
+  }
 };
 
 struct SimulationConfig {
@@ -91,8 +97,10 @@ struct SimulationConfig {
   /// storage only for the slab, sources only the particles *born* inside
   /// it, and parks particles crossing out of it as kMigrating —
   /// batch::run_domains drives the transport_round/extract/inject cycle.
-  /// Windowed runs currently require Over Particles + AoS and a whole-bank
-  /// span.
+  /// Windows compose with every scheme and layout (the bank converts
+  /// migrant checkpoints at the boundary) and with a particle span, which
+  /// restricts the windowed bank to births whose ids fall in the span —
+  /// how bank shards nest inside subdomains (batch::DomainOptions::shards).
   DomainWindow window;
 };
 
@@ -117,6 +125,11 @@ struct RunResult {
   /// figure domain decomposition exists to shrink.  Merging takes the max,
   /// so a reduced domain run reports its largest subdomain's slab.
   std::uint64_t peak_mesh_bytes = 0;
+  /// Peak bank-proportional bytes this run held: particle storage plus the
+  /// Over Events flight-state workspace, tracked across sourcing and
+  /// migrant injection.  Max-merged like peak_mesh_bytes, so a decomposed
+  /// run reports its hungriest partial solve.
+  std::uint64_t peak_bank_bytes = 0;
   /// Merged tally snapshot; only populated when the config asked for it
   /// (SimulationConfig::keep_tally_image) or by the shard reducer.
   std::shared_ptr<const TallyImage> tally;
@@ -150,8 +163,10 @@ class Simulation {
 
   /// Windowed run with a prebuilt bank: batch::run_domains samples the
   /// deck's id space ONCE and routes each birth to its owning subdomain,
-  /// so G subdomains cost one scan instead of G.  `bank` must hold exactly
-  /// the window's births in id order (validated).
+  /// so G subdomains cost one scan instead of G.  `bank` holds canonical
+  /// wire-format records — exactly the window's births whose ids fall in
+  /// config.span, in id order (validated); the bank converts to the
+  /// configured layout on adoption.
   Simulation(SimulationConfig config, std::shared_ptr<const World> world,
              std::vector<Particle> bank);
 
@@ -179,9 +194,14 @@ class Simulation {
     return profiler_.get();
   }
 
-  /// Read-only access to the particle bank (layout-dependent).
-  [[nodiscard]] std::int64_t surviving_population() const;
-  [[nodiscard]] double bank_in_flight_energy() const;
+  /// The layout-polymorphic particle bank this run transports.
+  [[nodiscard]] const ParticleBank& bank() const { return bank_; }
+  [[nodiscard]] std::int64_t surviving_population() const {
+    return bank_.surviving_population();
+  }
+  [[nodiscard]] double bank_in_flight_energy() const {
+    return bank_.in_flight_energy();
+  }
 
   /// The particle-id slice this run sources, with count resolved (equals
   /// {0, deck.n_particles} for an unsharded run).
@@ -193,7 +213,7 @@ class Simulation {
   [[nodiscard]] const DomainWindow& window() const { return window_; }
   /// Current bank size (residents + injected immigrants; includes dead).
   [[nodiscard]] std::int64_t bank_size() const {
-    return static_cast<std::int64_t>(aos_.size());
+    return static_cast<std::int64_t>(bank_.size());
   }
   /// Particles this run sourced at t=0 (born inside the window).
   [[nodiscard]] std::int64_t sourced_count() const { return sourced_count_; }
@@ -209,9 +229,12 @@ class Simulation {
   /// order, flipped back to kAlive); returns how many were extracted.
   std::size_t extract_migrants(std::vector<Particle>& out);
 
-  /// Re-bank mid-flight immigrant checkpoints.  Every record's cell must
-  /// lie inside this run's window; the next transport_round(false) resumes
-  /// the histories exactly where the source subdomain parked them.
+  /// Re-bank mid-flight immigrant checkpoints (canonical wire format;
+  /// converted into this bank's layout on entry).  Every record's cell must
+  /// lie inside this run's window and its id inside this run's span; the
+  /// next transport_round(false) resumes the histories exactly where the
+  /// source subdomain parked them — Over Events runs grow and re-stream
+  /// their workspace to fit the arrivals.
   void inject_migrants(const Particle* migrants, std::size_t count);
 
  private:
@@ -220,10 +243,14 @@ class Simulation {
   Simulation(SimulationConfig config, std::shared_ptr<const World> world,
              std::vector<Particle>* prebuilt);
 
-  StepResult step_aos();
-  StepResult step_soa();
+  /// One transport pass over the bank — the single scheme × layout dispatch
+  /// point (ParticleBank::with_view replaces the old step_aos/step_soa
+  /// fork).  wake_census starts a timestep; false resumes immigrants only.
+  StepResult step_transport(bool wake_census);
   void source_window_bank();
   void adopt_window_bank(std::vector<Particle> bank);
+  /// Fold the current bank + workspace bytes into the run's peak.
+  void note_bank_peak();
 
   SimulationConfig config_;
   ParticleSpan span_;     ///< resolved from config_.span
@@ -233,9 +260,9 @@ class Simulation {
   EnergyTally tally_;
   std::unique_ptr<PhaseProfiler> profiler_;
 
-  std::vector<Particle> aos_;
-  ParticleSoA soa_;
+  ParticleBank bank_;
   std::unique_ptr<OverEventsWorkspace> workspace_;
+  std::uint64_t peak_bank_bytes_ = 0;
 
   TransportContext ctx_;
   EventCounters accumulated_;

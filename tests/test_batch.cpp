@@ -375,6 +375,31 @@ TEST(Sweep, OverEventsDefaultsToDeferredTally) {
   EXPECT_EQ(jobs[1].config.tally_mode, TallyMode::kDeferredAtomic);
 }
 
+TEST(Sweep, NamedTallyModeIsNeverRewritten) {
+  // The §VI-G deferral is a default, not an override: a spec that names a
+  // tally mode keeps it for every scheme the sweep crosses.
+  const SweepSpec spec = batch::parse_sweep(
+      "deck csp\n"
+      "mesh_scale 0.02\n"
+      "tally atomic\n"
+      "axis scheme particles events\n");
+  EXPECT_TRUE(spec.tally_mode_named);
+  const std::vector<Job> jobs = batch::expand_sweep(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.tally_mode, TallyMode::kAtomic);
+  EXPECT_EQ(jobs[1].config.tally_mode, TallyMode::kAtomic);
+
+  // An unnamed mode still gets the scheme-appropriate default.
+  const SweepSpec unnamed = batch::parse_sweep(
+      "deck csp\n"
+      "mesh_scale 0.02\n"
+      "axis scheme particles events\n");
+  EXPECT_FALSE(unnamed.tally_mode_named);
+  const std::vector<Job> defaulted = batch::expand_sweep(unnamed);
+  ASSERT_EQ(defaulted.size(), 2u);
+  EXPECT_EQ(defaulted[1].config.tally_mode, TallyMode::kDeferredAtomic);
+}
+
 TEST(Sweep, MeshScaleAndNxAxesAreExclusive) {
   SweepSpec spec;
   spec.base = tiny_config();

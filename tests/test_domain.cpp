@@ -1,10 +1,15 @@
 // Tests for domain (spatial) decomposition: the grid planner, windowed
 // worlds and Simulations, particle migration, and the stitched reduction's
-// bit-identity against the unsharded run.
+// bit-identity against the undecomposed run — over the FULL scheme x
+// layout matrix (the ParticleBank refactor makes domains compose with
+// Over Events, SoA, and nested bank shards).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <numeric>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "batch/domain.h"
@@ -146,22 +151,35 @@ TEST(WindowedSimulation, SourcesOnlyParticlesBornInside) {
   EXPECT_EQ(total, 500);
 }
 
-TEST(WindowedSimulation, RejectsUnsupportedConfigs) {
+TEST(WindowedSimulation, ComposesWithEverySchemeLayoutAndSpan) {
+  // The restrictions PR 4 lifted: windows now construct with any scheme,
+  // any layout, and a particle span (the bank converts at the boundary).
+  for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+    for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+      SimulationConfig cfg = tiny_config(200);
+      cfg.scheme = scheme;
+      cfg.layout = layout;
+      cfg.window = DomainWindow{0, 0, cfg.deck.nx, cfg.deck.ny};
+      cfg.span = ParticleSpan{50, 100};
+      Simulation sim(cfg);
+      EXPECT_EQ(sim.bank().layout(), layout);
+      // A full-mesh window with a span sources exactly the span's ids.
+      EXPECT_EQ(sim.sourced_count(), 100);
+    }
+  }
+}
+
+TEST(WindowedSimulation, RejectsGenuinelyInvalidConfigs) {
   SimulationConfig cfg = tiny_config();
-  cfg.window = DomainWindow{0, 0, cfg.deck.nx, cfg.deck.ny};
-  cfg.scheme = Scheme::kOverEvents;
-  EXPECT_THROW(Simulation{cfg}, Error);
-  cfg.scheme = Scheme::kOverParticles;
-  cfg.layout = Layout::kSoA;
-  EXPECT_THROW(Simulation{cfg}, Error);
-  cfg.layout = Layout::kAoS;
-  cfg.span = ParticleSpan{0, 10};
-  EXPECT_THROW(Simulation{cfg}, Error);
-  cfg.span = ParticleSpan{};
+  // A window that does not fit the mesh is invalid in any composition.
   cfg.window = DomainWindow{0, 0, cfg.deck.nx + 1, cfg.deck.ny};
   EXPECT_THROW(Simulation{cfg}, Error);
-  // step() is the whole-mesh driver; windowed runs use transport_round.
+  // So is a span that is not a slice of the deck bank.
   cfg.window = DomainWindow{0, 0, cfg.deck.nx, cfg.deck.ny};
+  cfg.span = ParticleSpan{0, cfg.deck.n_particles + 1};
+  EXPECT_THROW(Simulation{cfg}, Error);
+  // step() is the whole-mesh driver; windowed runs use transport_round.
+  cfg.span = ParticleSpan{};
   Simulation windowed(cfg);
   EXPECT_THROW(windowed.step(), Error);
   Simulation plain(tiny_config());
@@ -170,17 +188,24 @@ TEST(WindowedSimulation, RejectsUnsupportedConfigs) {
 
 // ---------------------------------------------------------------------------
 // The acceptance gate: bit-identical checksum and population versus the
-// unsharded run for grids {1x1, 2x1, 2x2, 3x3} at worker counts {1, 4},
-// with the per-subdomain slab footprint shrinking as the grid grows.
+// undecomposed run for the FULL scheme x layout matrix, over grids
+// {1x1, 2x2, 3x3} at worker counts {1, 4}, with the per-subdomain slab
+// footprint shrinking as the grid grows.
 // ---------------------------------------------------------------------------
 
-TEST(RunDomains, BitIdenticalAcrossGridsAndWorkers) {
-  const SimulationConfig base = tiny_config(400);
+class DomainMatrix
+    : public ::testing::TestWithParam<std::tuple<Scheme, Layout>> {};
+
+TEST_P(DomainMatrix, BitIdenticalAcrossGridsAndWorkers) {
+  const auto [scheme, layout] = GetParam();
+  SimulationConfig base = tiny_config(400);
+  base.scheme = scheme;
+  base.layout = layout;
   const RunResult reference = run_compensated(base);
 
   std::uint64_t previous_peak = 0;
   const std::pair<std::int32_t, std::int32_t> grids[] = {
-      {1, 1}, {2, 1}, {2, 2}, {3, 3}};
+      {1, 1}, {2, 2}, {3, 3}};
   for (const auto& [rows, cols] : grids) {
     std::int64_t migrations_at_w1 = -1;
     for (std::int32_t workers : {1, 4}) {
@@ -193,8 +218,10 @@ TEST(RunDomains, BitIdenticalAcrossGridsAndWorkers) {
       const DomainRunReport report =
           batch::run_domains(engine, base, opt);
       ASSERT_TRUE(report.ok) << report.error;
-      SCOPED_TRACE(std::to_string(rows) + "x" + std::to_string(cols) +
-                   " on " + std::to_string(workers) + " workers");
+      SCOPED_TRACE(std::string(to_string(scheme)) + "/" +
+                   to_string(layout) + " " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + " on " +
+                   std::to_string(workers) + " workers");
 
       EXPECT_EQ(report.merged.tally_checksum, reference.tally_checksum);
       EXPECT_EQ(report.merged.population, reference.population);
@@ -231,6 +258,10 @@ TEST(RunDomains, BitIdenticalAcrossGridsAndWorkers) {
             << "cell " << cell;
       }
 
+      // Bank-proportional memory is accounted for every scheme (the Over
+      // Events runs include their flight-state workspace).
+      EXPECT_GT(report.merged.peak_bank_bytes, 0u);
+
       if (workers == 1) {
         // Slab memory shrinks (weakly) as the grid refines; strictly
         // below the full-mesh footprint once the mesh is actually split.
@@ -244,6 +275,80 @@ TEST(RunDomains, BitIdenticalAcrossGridsAndWorkers) {
       }
     }
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndLayouts, DomainMatrix,
+    ::testing::Combine(::testing::Values(Scheme::kOverParticles,
+                                         Scheme::kOverEvents),
+                       ::testing::Values(Layout::kAoS, Layout::kSoA)),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, Layout>>& info) {
+      return std::string(std::get<0>(info.param) == Scheme::kOverParticles
+                             ? "particles"
+                             : "events") +
+             (std::get<1>(info.param) == Layout::kAoS ? "AoS" : "SoA");
+    });
+
+// Bank shards nested inside subdomains: --shards x --domains composes and
+// the reduction stays bit-identical at any worker count.
+TEST(RunDomains, ComposesWithBankShards) {
+  SimulationConfig base = tiny_config(400);
+  const RunResult reference = run_compensated(base);
+
+  for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+    for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+      SimulationConfig cfg = base;
+      cfg.scheme = scheme;
+      cfg.layout = layout;
+      for (std::int32_t workers : {1, 4}) {
+        EngineOptions options;
+        options.workers = workers;
+        BatchEngine engine(options);
+        DomainOptions opt;
+        opt.rows = 2;
+        opt.cols = 2;
+        opt.shards = 3;
+        const DomainRunReport report = batch::run_domains(engine, cfg, opt);
+        ASSERT_TRUE(report.ok) << report.error;
+        SCOPED_TRACE(std::string(to_string(scheme)) + "/" +
+                     to_string(layout) + " on " + std::to_string(workers) +
+                     " workers");
+
+        EXPECT_EQ(report.shards, 3);
+        // One partial solve per (subdomain, span); together they source
+        // the whole bank exactly once.
+        EXPECT_EQ(report.sourced.size(), report.grid.count() * 3);
+        EXPECT_EQ(std::accumulate(report.sourced.begin(),
+                                  report.sourced.end(), std::int64_t{0}),
+                  base.deck.n_particles);
+        EXPECT_EQ(report.merged.tally_checksum, reference.tally_checksum);
+        EXPECT_EQ(report.merged.population, reference.population);
+        EXPECT_EQ(report.merged.counters.total_events(),
+                  reference.counters.total_events());
+        EXPECT_TRUE(report.merged.budget.conserved(1e-9));
+      }
+    }
+  }
+}
+
+// An explicitly chosen deferred-atomic tally (the over-events §VI-G mode)
+// survives decomposition: compensated deferred drains are sequential and
+// exact, so the stitched result still matches the undecomposed run.
+TEST(RunDomains, DeferredTallyUnderDomainsStaysBitIdentical) {
+  SimulationConfig base = tiny_config(300);
+  base.scheme = Scheme::kOverEvents;
+  base.tally_mode = TallyMode::kDeferredAtomic;
+  const RunResult reference = run_compensated(base);
+
+  BatchEngine engine;
+  DomainOptions opt;
+  opt.rows = 2;
+  opt.cols = 2;
+  const DomainRunReport report = batch::run_domains(engine, base, opt);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.merged.tally_checksum, reference.tally_checksum);
+  EXPECT_EQ(report.merged.population, reference.population);
+  EXPECT_TRUE(report.merged.budget.conserved(1e-9));
 }
 
 TEST(RunDomains, MultiThreadedRoundsStayBitIdentical) {
@@ -289,20 +394,23 @@ TEST(RunDomains, MultipleTimestepsDrainEveryBuffer) {
 
 TEST(RunDomains, RejectsInvalidBases) {
   BatchEngine engine;
+  // The decomposition owns both axes: a base that already carries a span
+  // or a window cannot be decomposed again.
   SimulationConfig spanned = tiny_config();
   spanned.span = ParticleSpan{0, 100};
   EXPECT_THROW(batch::run_domains(engine, spanned), Error);
 
-  SimulationConfig events = tiny_config();
-  events.scheme = Scheme::kOverEvents;
-  DomainOptions opt;
-  opt.rows = 2;
-  // The scheme check fires inside the subdomain Simulation constructor.
-  EXPECT_THROW(batch::run_domains(engine, events, opt), Error);
-
   SimulationConfig windowed = tiny_config();
   windowed.window = DomainWindow{0, 0, 4, 4};
   EXPECT_THROW(batch::run_domains(engine, windowed), Error);
+
+  DomainOptions no_shards;
+  no_shards.shards = 0;
+  EXPECT_THROW(batch::run_domains(engine, tiny_config(), no_shards), Error);
+
+  DomainOptions no_group;
+  no_group.group = 0;
+  EXPECT_THROW(batch::run_domains(engine, tiny_config(), no_group), Error);
 }
 
 }  // namespace

@@ -26,6 +26,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "batch/domain.h"
+#include "batch/engine.h"
 #include "core/simulation.h"
 #include "io/deck_io.h"
 #include "io/results_io.h"
@@ -125,6 +127,45 @@ TEST_P(GoldenSchemes, NativeSchemesAgreeBitForBit) {
     // ...and compensated tallies make even the float outputs exact.
     EXPECT_EQ(other->tally_checksum, particles.tally_checksum);
     EXPECT_EQ(other->budget.tally_total, particles.budget.tally_total);
+  }
+}
+
+TEST_P(GoldenSchemes, DomainDecompositionPreservesEverySchemeAndLayout) {
+  // Cross-scheme equivalence UNDER domain decomposition: a 2x2 tiling of
+  // each golden deck, run through every scheme x layout pair, must stitch
+  // back to the canonical compensated result bit for bit — the ParticleBank
+  // guarantee that decomposition layers never collapse the paper's
+  // scheme x layout cross-product.
+  const std::string name = GetParam();
+  const RunResult reference =
+      run_scheme(name, Scheme::kOverParticles, Layout::kAoS);
+
+  for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+    for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+      SimulationConfig cfg = golden_config(name);
+      cfg.scheme = scheme;
+      cfg.layout = layout;
+      batch::EngineOptions options;
+      options.workers = 2;
+      batch::BatchEngine engine(options);
+      batch::DomainOptions opt;
+      opt.rows = 2;
+      opt.cols = 2;
+      const batch::DomainRunReport report =
+          batch::run_domains(engine, cfg, opt);
+      ASSERT_TRUE(report.ok) << report.error;
+      SCOPED_TRACE(std::string(to_string(scheme)) + "/" + to_string(layout));
+
+      EXPECT_EQ(report.merged.tally_checksum, reference.tally_checksum);
+      EXPECT_EQ(report.merged.budget.tally_total,
+                reference.budget.tally_total);
+      EXPECT_EQ(report.merged.population, reference.population);
+      EXPECT_EQ(report.merged.counters.facets, reference.counters.facets);
+      EXPECT_EQ(report.merged.counters.collisions,
+                reference.counters.collisions);
+      EXPECT_EQ(report.merged.counters.censuses,
+                reference.counters.censuses);
+    }
   }
 }
 
