@@ -9,6 +9,19 @@
 //   $ neutral_batch --check-serial          # prove batch == serial physics
 //   $ neutral_batch --write-spec sweep.spec # emit the default spec to edit
 //   $ neutral_batch --shards 4              # fork-join every sweep job
+//   $ neutral_batch --connect 127.0.0.1:4817  # run the sweep on a neutrald
+//
+// --connect runs the SAME sweep workflow against a running `neutrald`
+// daemon instead of an in-process engine: the spec text is submitted over
+// TCP, completion events stream back as jobs finish server-side, and the
+// table/CSV carry the daemon's bit-identical results (columns match the
+// local table, so the two CSVs diff directly).  Engine knobs (--workers,
+// --threads-per-job, --queue-capacity, --cache-mb, --no-cache) belong to
+// the daemon in this mode and are rejected here.
+//
+// Exit status is non-zero when ANY row is not "ok" — failed, timed out,
+// cancelled, un-reduced, or energy-non-conserving — in every mode, local
+// or remote, so scripted sweeps cannot bury a failure in the CSV.
 //
 // The oversubscription policy is workers x threads_per_job <= logical
 // cpus; both knobs derive sensible defaults from the host (see
@@ -22,6 +35,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "batch/domain.h"
@@ -30,6 +44,7 @@
 #include "batch/sweep.h"
 #include "core/simulation.h"
 #include "io/results_io.h"
+#include "net/client.h"
 #include "runtime/host_info.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -66,6 +81,86 @@ bool check_against_serial(const JobOutcome& outcome) {
                 serial.tally_checksum);
   }
   return same;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  NEUTRAL_REQUIRE(in.good(), "cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// The plain result table's column set — identical for local and remote
+/// runs, so their CSVs diff column-for-column (CI pins the checksum and
+/// population columns across the loopback boundary).
+std::vector<std::string> result_columns() {
+  return {"job", "label", "particles", "tally", "events", "events/s",
+          "solve [s]", "tally checksum", "population", "world", "worker",
+          "status"};
+}
+
+/// FAIL/TIMEOUT/CANCELLED prefixes keep the three non-ok outcomes
+/// distinguishable in the table and CSV.
+std::string outcome_cell(const JobOutcome& outcome) {
+  if (outcome.ok) return "ok";
+  if (outcome.timed_out) return "TIMEOUT: " + outcome.error;
+  if (outcome.cancelled) return "CANCELLED: " + outcome.error;
+  return "FAIL: " + outcome.error;
+}
+
+/// `--connect`: submit the sweep to a neutrald and render its rows through
+/// the same table shape the in-process path uses.
+int run_remote(const std::string& endpoint, const std::string& spec_text,
+               std::int32_t shards, const std::string& domains,
+               const std::string& csv, bool quiet) {
+  const auto [host, port] = net::NeutralClient::parse_endpoint(endpoint);
+  net::NeutralClient client(host, port);
+  net::SubmitRequest request;
+  request.spec_text = spec_text;
+  request.shards = shards > 0 ? shards : 0;
+  request.domains = domains;
+  const std::uint64_t id = client.submit(request);
+  std::printf("# neutral_batch --connect %s (submission #%llu)\n",
+              endpoint.c_str(), static_cast<unsigned long long>(id));
+  const net::RemoteResult result =
+      client.wait(id, [&](const net::RemoteEvent& event) {
+        if (quiet) return;
+        std::printf("[remote worker %d] %-9s %-44s %8.3fs\n", event.worker,
+                    event.status.c_str(), event.label.c_str(),
+                    event.seconds);
+      });
+
+  ResultTable table("neutral_batch — " +
+                        std::to_string(result.rows.size()) + " jobs via " +
+                        endpoint,
+                    result_columns());
+  bool ok = result.ok();
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const net::RemoteRow& row = result.rows[i];
+    if (row.status != "ok") ok = false;
+    table.add_row(
+        {std::to_string(i), row.label,
+         ResultTable::cell(static_cast<long>(row.particles)), row.tally,
+         ResultTable::cell(static_cast<unsigned long long>(row.events)),
+         ResultTable::cell(row.seconds > 0.0
+                               ? static_cast<double>(row.events) / row.seconds
+                               : 0.0,
+                           3),
+         ResultTable::cell(row.seconds, 3),
+         ResultTable::cell_full(row.checksum),
+         ResultTable::cell(static_cast<long>(row.population)), "remote",
+         "-",
+         row.status == "ok" ? "ok" : row.status + ": " + row.error});
+  }
+  table.print();
+  table.write_csv(csv);
+  std::printf("wrote %s\n", csv.c_str());
+  std::printf("\n== remote report ==\n");
+  std::printf("submission     : #%llu -> %s%s%s\n",
+              static_cast<unsigned long long>(id), result.status.c_str(),
+              result.error.empty() ? "" : " — ", result.error.c_str());
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -107,6 +202,10 @@ int main(int argc, char** argv) {
         "one bit-identical row");
     const auto cache_mb = cli.option_int(
         "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
+    const std::string connect = cli.option(
+        "connect", "",
+        "run the sweep against a neutrald at host:port instead of "
+        "in-process (composes with --spec/--shards/--domains)");
     if (!cli.finish()) return 0;
     options.cache.max_bytes =
         static_cast<std::uint64_t>(std::max(cache_mb, 0L)) << 20;
@@ -117,6 +216,23 @@ int main(int argc, char** argv) {
       out << kDefaultSpec;
       std::printf("wrote %s\n", write_spec.c_str());
       return 0;
+    }
+
+    if (!connect.empty()) {
+      NEUTRAL_REQUIRE(!check_serial,
+                      "--check-serial runs locally; not supported with "
+                      "--connect");
+      NEUTRAL_REQUIRE(record_dir.empty(),
+                      "--record-dir is not supported with --connect");
+      NEUTRAL_REQUIRE(options.workers == 0 && options.threads_per_job == 0 &&
+                          options.queue_capacity == 0 &&
+                          options.reuse_worlds && cache_mb == 0,
+                      "engine knobs (--workers, --threads-per-job, "
+                      "--queue-capacity, --no-cache, --cache-mb) configure "
+                      "the daemon; set them when starting neutrald");
+      const std::string spec_text =
+          spec_path.empty() ? kDefaultSpec : read_file(spec_path);
+      return run_remote(connect, spec_text, shards, domains, csv, quiet);
     }
 
     // Bit-exact comparison requires one OpenMP thread per job: with more,
@@ -186,9 +302,12 @@ int main(int argc, char** argv) {
                              static_cast<long>(config.deck.n_particles)),
                          to_string(config.tally_mode), domains, "-", "-",
                          "-", "-", "-", "-", "-", "-",
-                         "FAIL: " + report.error});
+                         (report.timed_out ? "TIMEOUT: " : "FAIL: ") +
+                             report.error});
           continue;
         }
+        const bool conserved = report.merged.budget.conserved(1e-9);
+        if (!conserved) domains_ok = false;  // never bury it in the CSV
         table.add_row(
             {std::to_string(job.id), job.label,
              ResultTable::cell(static_cast<long>(config.deck.n_particles)),
@@ -210,8 +329,7 @@ int main(int argc, char** argv) {
                  3),
              ResultTable::cell_full(report.merged.tally_checksum),
              ResultTable::cell(static_cast<long>(report.merged.population)),
-             report.merged.budget.conserved(1e-9) ? "ok"
-                                                  : "NOT CONSERVED"});
+             conserved ? "ok" : "NOT CONSERVED"});
       }
       table.print();
       table.write_csv(csv);
@@ -278,6 +396,7 @@ int main(int argc, char** argv) {
           }
         });
 
+    bool tables_ok = true;  // any non-ok row must fail the exit status
     if (shards >= 1) {
       // Reduce each contiguous fork-join group back to one sweep row.
       // plan_shards clamps tiny decks, so group sizes can differ.
@@ -288,7 +407,6 @@ int main(int argc, char** argv) {
            "max shard [s]", "imbalance", "tally checksum", "population",
            "status"});
       std::size_t next = 0;
-      bool reduced_ok = true;
       for (const Job& job : sweep_jobs) {
         const std::size_t group_size = std::min<std::size_t>(
             static_cast<std::size_t>(shards),
@@ -298,15 +416,18 @@ int main(int argc, char** argv) {
         next += group_size;
 
         if (!group.ok) {
-          reduced_ok = false;
+          tables_ok = false;
           table.add_row({std::to_string(job.id), job.label,
                          ResultTable::cell(
                              static_cast<long>(job.config.deck.n_particles)),
                          to_string(job.config.tally_mode),
                          std::to_string(group_size), "-", "-", "-", "-", "-",
-                         "FAIL: " + group.error});
+                         (group.timed_out ? "TIMEOUT: " : "FAIL: ") +
+                             group.error});
           continue;
         }
+        const bool conserved = group.merged.budget.conserved(1e-9);
+        if (!conserved) tables_ok = false;
         table.add_row(
             {std::to_string(job.id), job.label,
              ResultTable::cell(static_cast<long>(job.config.deck.n_particles)),
@@ -318,20 +439,22 @@ int main(int argc, char** argv) {
              ResultTable::cell(group.imbalance(), 2),
              ResultTable::cell_full(group.merged.tally_checksum),
              ResultTable::cell(static_cast<long>(group.merged.population)),
-             group.merged.budget.conserved(1e-9) ? "ok" : "NOT CONSERVED"});
+             conserved ? "ok" : "NOT CONSERVED"});
       }
       table.print();
       table.write_csv(csv);
       std::printf("wrote %s\n", csv.c_str());
-      if (!reduced_ok) {
+      if (!tables_ok) {
         std::printf("sharding       : at least one group failed to reduce\n");
       }
     } else {
       ResultTable table(
           "neutral_batch — " + std::to_string(report.jobs.size()) + " jobs",
-          {"job", "label", "particles", "tally", "events", "events/s",
-           "solve [s]", "tally checksum", "world", "worker", "status"});
+          result_columns());
       for (const JobOutcome& j : report.jobs) {
+        const bool conserved =
+            !j.ok || j.result.budget.conserved(1e-9);
+        if (!conserved) tables_ok = false;
         table.add_row(
             {std::to_string(j.job_id), j.label,
              ResultTable::cell(static_cast<long>(j.config.deck.n_particles)),
@@ -340,9 +463,11 @@ int main(int argc, char** argv) {
                  j.result.counters.total_events())),
              ResultTable::cell(j.result.events_per_second(), 3),
              ResultTable::cell(j.seconds, 3),
-             ResultTable::cell(j.result.tally_checksum, 9),
+             ResultTable::cell_full(j.result.tally_checksum),
+             ResultTable::cell(static_cast<long>(j.result.population)),
              j.world_cache_hit ? "cached" : "built",
-             std::to_string(j.worker), j.ok ? "ok" : ("FAIL: " + j.error)});
+             std::to_string(j.worker),
+             conserved ? outcome_cell(j) : "NOT CONSERVED"});
       }
       table.print();
       table.write_csv(csv);
@@ -350,8 +475,10 @@ int main(int argc, char** argv) {
     }
 
     std::printf("\n== batch report ==\n");
-    std::printf("jobs           : %zu completed, %zu failed (%zu cancelled)\n",
-                report.completed(), report.failed(), report.cancelled());
+    std::printf("jobs           : %zu completed, %zu failed (%zu cancelled, "
+                "%zu timed out)\n",
+                report.completed(), report.failed(), report.cancelled(),
+                report.timed_out());
     std::printf("pool           : %d workers x %d threads/job\n",
                 report.workers, report.threads_per_job);
     std::printf("wallclock      : %.3f s   (%.3g events/s aggregate)\n",
@@ -366,7 +493,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(report.cache.resident_bytes) /
                     (1 << 20));
 
-    bool ok = report.failed() == 0;
+    bool ok = report.failed() == 0 && tables_ok;
     if (!record_dir.empty()) {
       for (const JobOutcome& j : report.jobs) {
         if (!j.ok) continue;

@@ -1,6 +1,7 @@
 #include "batch/domain.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <numeric>
 
@@ -154,11 +155,20 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
   // Per-(subdomain, span) Simulations: compensated tallies + kept images
   // (the PR 2 reduction contract), atomic promoted to privatized when a
   // round may run more than one thread — exactly the shard-job rule.
+  // Round jobs are custom work, so the engine cannot stamp its run-wall
+  // deadline on them; apply QueuePolicy::max_run_wall here instead (the
+  // rounds' transport_round checks it between kernels).
+  SimulationConfig root = base;
+  if (engine.options().policy.max_run_wall.count() > 0) {
+    root.deadline =
+        std::min(root.deadline, std::chrono::steady_clock::now() +
+                                    engine.options().policy.max_run_wall);
+  }
   std::vector<std::unique_ptr<Simulation>> sims;
   sims.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t d = i / n_spans;
-    SimulationConfig cfg = base;
+    SimulationConfig cfg = root;
     cfg.window = worlds[d]->window;
     cfg.span = spans[i % n_spans];
     cfg.compensated_tally = true;
@@ -200,6 +210,7 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
     for (const JobOutcome& outcome : round.jobs) {
       if (!outcome.ok) {
         report.error = outcome.label + " failed: " + outcome.error;
+        report.timed_out = outcome.timed_out;
         return false;
       }
     }

@@ -93,6 +93,7 @@ struct DomainOptions {
 struct DomainRunReport {
   bool ok = false;
   std::string error;       ///< first failed round job when !ok
+  bool timed_out = false;  ///< that failure hit a QueuePolicy deadline
   RunResult merged;        ///< stitched full-grid result; valid when ok
   DomainGrid grid;
   std::int32_t shards = 1; ///< bank shards per subdomain (DomainOptions)

@@ -1,6 +1,7 @@
 #include "batch/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -23,6 +24,12 @@ std::size_t BatchReport::failed() const { return jobs.size() - completed(); }
 std::size_t BatchReport::cancelled() const {
   std::size_t n = 0;
   for (const JobOutcome& j : jobs) n += j.cancelled ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchReport::timed_out() const {
+  std::size_t n = 0;
+  for (const JobOutcome& j : jobs) n += j.timed_out ? 1 : 0;
   return n;
 }
 
@@ -80,28 +87,41 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   report.jobs.resize(jobs.size());
   if (jobs.empty()) return report;
 
-  // Slot outcomes by submission order, keyed by job id.
+  // Slot outcomes by submission order, keyed by job id; count each group's
+  // jobs so the queue's cancellation tombstone can be evicted the moment
+  // the group's last job is accounted for (a long-lived deployment would
+  // otherwise leak one tombstone per cancelled group).
   std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  std::unordered_map<std::uint64_t, std::size_t> group_remaining;
+  std::vector<std::uint64_t> group_by_slot(jobs.size(), 0);
   slot_of.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NEUTRAL_REQUIRE(slot_of.emplace(jobs[i].id, i).second,
                     "duplicate job id in batch submission");
     report.jobs[i].job_id = jobs[i].id;
     report.jobs[i].label = jobs[i].label;
+    group_by_slot[i] = jobs[i].group;
+    if (jobs[i].group != 0) ++group_remaining[jobs[i].group];
   }
 
-  JobQueue queue(queue_depth(workers));
+  JobQueue queue(queue_depth(workers), options_.policy);
   std::mutex report_mutex;
   const WorldCache::Stats cache_before = cache_.stats();
   WallTimer wall;
 
   // Record one outcome (and, for failures of a grouped job, the cancelled
-  // outcomes of its unrun siblings) under the report lock.
+  // outcomes of its unrun siblings) under the report lock.  The last
+  // outcome of a group evicts its cancellation tombstone: every job of the
+  // group is accounted for, so no push can resurrect it.
   auto record = [&](JobOutcome&& outcome) {
     std::lock_guard<std::mutex> lock(report_mutex);
     const std::size_t slot = slot_of.at(outcome.job_id);
     report.jobs[slot] = std::move(outcome);
     if (on_complete) on_complete(report.jobs[slot]);
+    const std::uint64_t group = group_by_slot[slot];
+    if (group != 0 && --group_remaining.at(group) == 0) {
+      queue.forget_group(group);
+    }
   };
 
   auto cancelled_outcome = [](std::uint64_t id, std::string label,
@@ -123,43 +143,69 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       outcome.label = job->label;
       outcome.worker = worker_id;
       WallTimer timer;
-      try {
-        if (job->work) {
-          // Custom work owns its own state and threading.
-          outcome.result = job->work();
-          outcome.config = job->config;
-          outcome.ok = true;
-        } else {
-          SimulationConfig config = job->config;
-          if (config.threads <= 0) config.threads = threads_per_job;
-          std::shared_ptr<const World> world =
-              options_.reuse_worlds
-                  ? cache_.acquire(config.deck, job->fingerprint,
-                                   &outcome.world_cache_hit)
-                  : build_world(config.deck);
-          Simulation sim(std::move(config), std::move(world));
-          outcome.result = sim.run();
-          outcome.config = sim.config();
-          outcome.ok = true;
-        }
-      } catch (const std::exception& e) {
+      if (std::chrono::steady_clock::now() > job->deadline) {
+        // Expired while queued (max_queue_wait): completes as timed_out
+        // without wasting the pool on a result nobody is waiting for.
         outcome.ok = false;
-        outcome.error = e.what();
+        outcome.timed_out = true;
+        outcome.error = "timed out waiting in queue (max_queue_wait)";
         outcome.config = job->config;
+      } else {
+        try {
+          if (job->work) {
+            // Custom work owns its own state and threading (including any
+            // run-wall deadline its configs carry).
+            outcome.result = job->work();
+            outcome.config = job->config;
+            outcome.ok = true;
+          } else {
+            SimulationConfig config = job->config;
+            if (config.threads <= 0) config.threads = threads_per_job;
+            if (options_.policy.max_run_wall.count() > 0) {
+              config.deadline = std::min(
+                  config.deadline, std::chrono::steady_clock::now() +
+                                       options_.policy.max_run_wall);
+            }
+            std::shared_ptr<const World> world =
+                options_.reuse_worlds
+                    ? cache_.acquire(config.deck, job->fingerprint,
+                                     &outcome.world_cache_hit)
+                    : build_world(config.deck);
+            Simulation sim(std::move(config), std::move(world));
+            outcome.result = sim.run();
+            outcome.config = sim.config();
+            outcome.ok = true;
+          }
+        } catch (const TimeoutError& e) {
+          outcome.ok = false;
+          outcome.timed_out = true;
+          outcome.error = e.what();
+          outcome.config = job->config;
+        } catch (const std::exception& e) {
+          outcome.ok = false;
+          outcome.error = e.what();
+          outcome.config = job->config;
+        }
       }
       outcome.seconds = timer.seconds();
 
       const bool failed = !outcome.ok;
       const std::uint64_t failed_id = outcome.job_id;
       const std::uint64_t group = job->group;
-      record(std::move(outcome));
+      // Cancel BEFORE recording the failure: record() evicts the group's
+      // tombstone when it accounts the group's last job, so the tombstone
+      // must already exist by then — the reverse order would re-insert it
+      // after the eviction and leak it.
+      std::vector<Job> cancelled;
       if (failed && group != 0 && options_.cancel_failed_groups) {
-        for (Job& sibling : queue.cancel_pending(group)) {
-          record(cancelled_outcome(
-              sibling.id, std::move(sibling.label), std::move(sibling.config),
-              "cancelled: sibling job " + std::to_string(failed_id) +
-                  " failed"));
-        }
+        cancelled = queue.cancel_pending(group);
+      }
+      record(std::move(outcome));
+      for (Job& sibling : cancelled) {
+        record(cancelled_outcome(
+            sibling.id, std::move(sibling.label), std::move(sibling.config),
+            "cancelled: sibling job " + std::to_string(failed_id) +
+                " failed"));
       }
     }
   };
@@ -173,17 +219,52 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   // Submit from this thread so the bounded queue back-pressures the
   // producer, then close to let workers drain and exit.  A push refused
   // because the job's group was cancelled mid-submission records the job
-  // as cancelled (the queue remembers poisoned groups).
+  // as cancelled (the queue remembers poisoned groups); a push that timed
+  // out (max_queue_wait, saturated queue) records it as timed_out — either
+  // way every job gets exactly one outcome, which is what lets record()
+  // evict group tombstones safely.
   for (Job& job : jobs) {
     const std::uint64_t id = job.id;
     const std::uint64_t group = job.group;
     std::string label = job.label;
     SimulationConfig config = job.config;
-    if (!queue.push(std::move(job)) && queue.group_cancelled(group)) {
+    if (options_.policy.max_queue_wait.count() > 0 &&
+        job.deadline == std::chrono::steady_clock::time_point::max()) {
+      job.deadline =
+          std::chrono::steady_clock::now() + options_.policy.max_queue_wait;
+    }
+    const PushOutcome pushed = queue.push(std::move(job));
+    if (pushed == PushOutcome::kAccepted) continue;
+    if (queue.group_cancelled(group)) {
       record(cancelled_outcome(id, std::move(label), std::move(config),
                                "cancelled: submission refused, group " +
                                    std::to_string(group) +
                                    " already failed"));
+    } else {
+      JobOutcome outcome;
+      outcome.job_id = id;
+      outcome.label = std::move(label);
+      outcome.config = std::move(config);
+      outcome.ok = false;
+      outcome.timed_out = pushed == PushOutcome::kTimedOut;
+      outcome.error = pushed == PushOutcome::kTimedOut
+                          ? "timed out waiting for queue space "
+                            "(max_queue_wait)"
+                          : "submission refused: queue closed";
+      // A timed-out grouped push loses the fork-join result exactly like a
+      // failed run: cancel the siblings already queued.  Tombstone first,
+      // outcomes second — same ordering rule as the worker loop.
+      std::vector<Job> cancelled;
+      if (group != 0 && options_.cancel_failed_groups) {
+        cancelled = queue.cancel_pending(group);
+      }
+      record(std::move(outcome));
+      for (Job& sibling : cancelled) {
+        record(cancelled_outcome(
+            sibling.id, std::move(sibling.label), std::move(sibling.config),
+            "cancelled: sibling job " + std::to_string(id) +
+                " timed out at submission"));
+      }
     }
   }
   queue.close();

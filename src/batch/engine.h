@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "batch/job.h"
+#include "batch/queue.h"
 #include "batch/world_cache.h"
 #include "core/simulation.h"
 
@@ -48,6 +49,15 @@ struct EngineOptions {
   /// siblings instead of running them to completion — a failed shard's
   /// fork-join result is already lost, so its siblings are pure waste.
   bool cancel_failed_groups = true;
+  /// Deadline policy for long-lived deployments (neutrald).  max_queue_wait
+  /// bounds both a blocked push and a job's time in queue (stamped onto
+  /// Job::deadline; an expired job completes as timed_out unrun).
+  /// max_run_wall bounds each config-driven job's running wall clock via
+  /// the cooperative SimulationConfig::deadline; custom-work jobs
+  /// (Job::work) enforce their own — run_domains propagates the base
+  /// config's deadline into every subdomain round.  Zero = unbounded, the
+  /// fork-join CLI default.
+  QueuePolicy policy;
 };
 
 /// One finished (or failed) job.
@@ -61,6 +71,11 @@ struct JobOutcome {
   std::int32_t worker = -1;    ///< which worker ran it (-1: never ran)
   bool ok = false;
   bool cancelled = false;      ///< removed unrun after a sibling failed
+  /// Subset of !ok: the job hit a QueuePolicy deadline — expired in the
+  /// queue (max_queue_wait) or aborted mid-run (max_run_wall).  Kept
+  /// distinct from plain failure so a serving layer can report
+  /// `timed_out` and a client can retry with a longer budget.
+  bool timed_out = false;
   std::string error;           ///< exception message when !ok
 };
 
@@ -78,6 +93,8 @@ struct BatchReport {
   [[nodiscard]] std::size_t failed() const;
   /// Subset of failed(): jobs cancelled unrun after a sibling failed.
   [[nodiscard]] std::size_t cancelled() const;
+  /// Subset of failed(): jobs that hit a QueuePolicy deadline.
+  [[nodiscard]] std::size_t timed_out() const;
   /// Sum of per-job transport events over the batch wall clock — the
   /// node-throughput figure batching exists to maximise.
   [[nodiscard]] std::uint64_t total_events() const;

@@ -8,6 +8,7 @@
 // cached World (batch/world_cache.h).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -33,6 +34,13 @@ struct Job {
   SimulationConfig config;
   /// world_fingerprint(config.deck), precomputed at submission.
   std::uint64_t fingerprint = 0;
+  /// Absolute deadline by which the job must START running; a worker
+  /// popping an expired job completes it as timed_out without running it
+  /// (and cancels its group like a failure).  time_point::max() = none.
+  /// The engine stamps this from QueuePolicy::max_queue_wait at submission
+  /// when the submitter left it unset; an earlier submitter deadline wins.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   /// Custom work: when set, the worker runs this instead of constructing a
   /// Simulation from `config` — the hook that lets stateful fork-join
   /// phases (domain-decomposition transport rounds, which keep per-

@@ -4,25 +4,41 @@
 
 namespace neutral::batch {
 
-JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+JobQueue::JobQueue(std::size_t capacity, QueuePolicy policy)
+    : capacity_(capacity), policy_(policy) {
   NEUTRAL_REQUIRE(capacity > 0, "job queue capacity must be positive");
+  NEUTRAL_REQUIRE(policy.max_queue_wait.count() >= 0 &&
+                      policy.max_run_wall.count() >= 0,
+                  "queue policy durations must be non-negative");
 }
 
-bool JobQueue::push_locked(Job&& job, std::unique_lock<std::mutex>& lock,
-                          bool blocking) {
+PushOutcome JobQueue::push_locked(
+    Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   const std::uint64_t group = job.group;
   auto cancelled = [&] {
     return group != 0 && cancelled_groups_.count(group) != 0;
   };
+  auto unblocked = [&] {
+    return closed_ || cancelled() || heap_.size() < capacity_;
+  };
   if (blocking) {
-    not_full_.wait(lock, [&] {
-      return closed_ || cancelled() || heap_.size() < capacity_;
-    });
+    if (deadline.has_value()) {
+      not_full_.wait_until(lock, *deadline, unblocked);
+    } else {
+      not_full_.wait(lock, unblocked);
+    }
   }
-  if (closed_ || cancelled() || heap_.size() >= capacity_) return false;
+  if (closed_ || cancelled()) return PushOutcome::kRefused;
+  if (heap_.size() >= capacity_) {
+    // Still full: a timed wait expired (kTimedOut — the queue is alive and
+    // retrying may succeed) or this was a try_push.
+    return deadline.has_value() ? PushOutcome::kTimedOut
+                                : PushOutcome::kRefused;
+  }
   heap_.push(Entry{job.priority, next_sequence_++, std::move(job)});
   not_empty_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
@@ -55,19 +71,41 @@ std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
   return removed;
 }
 
+void JobQueue::forget_group(std::uint64_t group) {
+  if (group == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancelled_groups_.erase(group);
+}
+
 bool JobQueue::group_cancelled(std::uint64_t group) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return group != 0 && cancelled_groups_.count(group) != 0;
 }
 
-bool JobQueue::push(Job job) {
+std::size_t JobQueue::cancelled_group_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_groups_.size();
+}
+
+PushOutcome JobQueue::push(Job job) {
   std::unique_lock<std::mutex> lock(mutex_);
-  return push_locked(std::move(job), lock, /*blocking=*/true);
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (policy_.max_queue_wait.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + policy_.max_queue_wait;
+  }
+  return push_locked(std::move(job), lock, /*blocking=*/true, deadline);
+}
+
+PushOutcome JobQueue::push_until(
+    Job job, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return push_locked(std::move(job), lock, /*blocking=*/true, deadline);
 }
 
 bool JobQueue::try_push(Job job) {
   std::unique_lock<std::mutex> lock(mutex_);
-  return push_locked(std::move(job), lock, /*blocking=*/false);
+  return push_locked(std::move(job), lock, /*blocking=*/false,
+                     std::nullopt) == PushOutcome::kAccepted;
 }
 
 std::optional<Job> JobQueue::pop() {
@@ -76,6 +114,18 @@ std::optional<Job> JobQueue::pop() {
   if (heap_.empty()) return std::nullopt;  // closed and drained
   // priority_queue::top() is const; the move is safe because the entry is
   // popped before anyone else can observe it.
+  Job job = std::move(const_cast<Entry&>(heap_.top()).job);
+  heap_.pop();
+  not_full_.notify_one();
+  return job;
+}
+
+std::optional<Job> JobQueue::pop_until(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_until(lock, deadline,
+                        [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return std::nullopt;  // closed, drained, or timed out
   Job job = std::move(const_cast<Entry&>(heap_.top()).job);
   heap_.pop();
   not_full_.notify_one();

@@ -1,4 +1,5 @@
-// Bounded MPMC job queue with priority ordering and graceful shutdown.
+// Bounded MPMC job queue with priority ordering, deadlines and graceful
+// shutdown.
 //
 // The engine's producer pushes jobs while N workers pop; both sides block
 // on condition variables, so a bounded capacity applies back-pressure to
@@ -7,12 +8,27 @@
 // sequence number breaks ties, so equal-priority jobs run in submission
 // order and the pop order is deterministic for a single consumer).
 //
+// Deadlines: a fork-join CLI can afford to block forever — a daemon
+// cannot.  push_until()/pop_until() bound any wait with
+// condition_variable::wait_until, and a QueuePolicy::max_queue_wait makes
+// plain push() timed as well, so a producer whose consumers died gets a
+// kTimedOut (distinct from kRefused: the queue is alive, just saturated)
+// instead of hanging.  The sit-in-queue half of max_queue_wait is enforced
+// by the engine via Job::deadline (batch/job.h).
+//
 // Shutdown protocol: close() wakes everyone; pushes after close() are
 // refused, pops drain whatever is still queued and then return nullopt.
 // Workers therefore exit exactly when the queue is closed AND empty —
 // jobs in flight at close() still complete.
+//
+// Cancelled-group lifetime: cancel_pending() tombstones the group so a
+// producer mid-submission cannot resurrect it, and forget_group() evicts
+// the tombstone once the caller has accounted for every job of the group
+// — without it the set grows one entry per cancelled group for the life
+// of the queue (the unbounded-memory bug a long-running daemon hits).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -25,21 +41,53 @@
 
 namespace neutral::batch {
 
+/// Deadline policy for long-lived queue/engine deployments.  Zero means
+/// "unbounded" — the fork-join CLI default, where waits are known finite.
+struct QueuePolicy {
+  /// Bounds (a) how long a producer blocks in push() and (b) how long a
+  /// job may sit queued before a worker pops it: the engine stamps
+  /// Job::deadline from this, and an expired job completes as timed_out
+  /// without running.
+  std::chrono::milliseconds max_queue_wait{0};
+  /// Bounds one job's running wall clock.  Enforced by the engine through
+  /// the cooperative SimulationConfig::deadline (checked at timestep and
+  /// transport-round boundaries); an expired run completes as timed_out
+  /// and cancels its group like a failure.
+  std::chrono::milliseconds max_run_wall{0};
+};
+
+/// Result of a (possibly timed) push.  kRefused = the queue is closed or
+/// the job's group is cancelled — retrying is pointless.  kTimedOut = the
+/// queue stayed full past the deadline — the queue is alive and a caller
+/// with slack may retry; a daemon reports the two differently.
+enum class PushOutcome : std::uint8_t { kAccepted, kRefused, kTimedOut };
+
 class JobQueue {
  public:
   /// `capacity` > 0: push() blocks while that many jobs are queued.
-  explicit JobQueue(std::size_t capacity);
+  /// `policy.max_queue_wait` > 0 bounds that blocking (see push()).
+  explicit JobQueue(std::size_t capacity, QueuePolicy policy = {});
 
-  /// Blocks while full.  Returns false (dropping `job`) iff the queue was
-  /// closed before space became available.
-  bool push(Job job);
+  /// Blocks while full — forever when policy.max_queue_wait is zero, else
+  /// at most that long (returning kTimedOut, dropping `job`).  kRefused
+  /// (also dropping `job`) iff the queue was closed or the job's group
+  /// cancelled before space became available.
+  PushOutcome push(Job job);
 
-  /// Non-blocking push: false when full or closed.
+  /// push() with an explicit absolute deadline (steady clock).
+  PushOutcome push_until(Job job,
+                         std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking push: false when full, closed or group-cancelled.
   bool try_push(Job job);
 
   /// Blocks while empty.  Returns the highest-priority job, or nullopt
   /// once the queue is closed and fully drained.
   std::optional<Job> pop();
+
+  /// pop() with an absolute deadline: nullopt when the deadline passes
+  /// with the queue still empty (distinguish from shutdown via closed()).
+  std::optional<Job> pop_until(std::chrono::steady_clock::time_point deadline);
 
   /// Refuse further pushes and wake all waiters; queued jobs stay poppable.
   void close();
@@ -51,10 +99,20 @@ class JobQueue {
   /// the caller can record their outcomes.
   std::vector<Job> cancel_pending(std::uint64_t group);
 
+  /// Evict `group`'s cancellation tombstone.  Call once the last job of
+  /// the group has been accounted for (no more pushes can arrive) — the
+  /// engine does, keeping the tombstone set bounded by the number of
+  /// groups currently in flight instead of ever cancelled.
+  void forget_group(std::uint64_t group);
+
   [[nodiscard]] bool closed() const;
   [[nodiscard]] bool group_cancelled(std::uint64_t group) const;
+  /// Tombstones currently resident — a long-lived queue must keep this
+  /// bounded (regression-tested).
+  [[nodiscard]] std::size_t cancelled_group_count() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const QueuePolicy& policy() const { return policy_; }
 
  private:
   struct Entry {
@@ -70,10 +128,12 @@ class JobQueue {
     }
   };
 
-  bool push_locked(Job&& job, std::unique_lock<std::mutex>& lock,
-                   bool blocking);
+  PushOutcome push_locked(
+      Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
+      std::optional<std::chrono::steady_clock::time_point> deadline);
 
   const std::size_t capacity_;
+  const QueuePolicy policy_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

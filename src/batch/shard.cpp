@@ -129,8 +129,11 @@ GroupReduction reduce_outcome_group(const JobOutcome* outcomes,
   }
   if (failure != nullptr) {
     group.ok = false;
+    group.timed_out = failure->timed_out;
     group.error = "shard " + std::to_string(failure->job_id) +
-                  (failure->cancelled ? " cancelled: " : " failed: ") +
+                  (failure->cancelled
+                       ? " cancelled: "
+                       : failure->timed_out ? " timed out: " : " failed: ") +
                   failure->error;
     return group;
   }

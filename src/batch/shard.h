@@ -75,6 +75,7 @@ RunResult reduce_shards(const std::vector<const RunResult*>& shard_results);
 struct GroupReduction {
   bool ok = false;
   std::string error;           ///< root-cause shard failure when !ok
+  bool timed_out = false;      ///< root cause hit a QueuePolicy deadline
   RunResult merged;            ///< valid only when ok
   double max_shard_seconds = 0.0;
   double mean_shard_seconds = 0.0;

@@ -234,10 +234,22 @@ StepResult Simulation::step_transport(bool wake_census) {
   return result;
 }
 
+void Simulation::check_interrupt() const {
+  if (config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_relaxed)) {
+    throw Error("run cancelled");
+  }
+  if (config_.deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() > config_.deadline) {
+    throw TimeoutError("run exceeded its wall-clock deadline");
+  }
+}
+
 StepResult Simulation::step() {
   NEUTRAL_REQUIRE(!config_.window.active(),
                   "windowed simulations are driven round-by-round "
                   "(transport_round) by batch::run_domains, not step()");
+  check_interrupt();
   StepResult result = step_transport(/*wake_census=*/true);
   accumulated_ += result.counters;
   accumulated_kernel_times_ += result.kernel_times;
@@ -249,6 +261,7 @@ StepResult Simulation::step() {
 StepResult Simulation::transport_round(bool wake) {
   NEUTRAL_REQUIRE(config_.window.active(),
                   "transport_round drives windowed runs; use step()");
+  check_interrupt();
   // Rounds run on whichever engine worker picks them up, and the OpenMP
   // team size is a per-thread ICV: re-pin it here so the round matches the
   // thread budget the tally was built for (the constructor only pinned the

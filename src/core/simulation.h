@@ -5,6 +5,8 @@
 // then dispatches timesteps to the configured parallelisation scheme.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -102,6 +104,18 @@ struct SimulationConfig {
   /// restricts the windowed bank to births whose ids fall in the span —
   /// how bank shards nest inside subdomains (batch::DomainOptions::shards).
   DomainWindow window;
+  /// Cooperative wall-clock deadline: run() and transport_round() check it
+  /// at timestep/round boundaries (never inside the hot tracking loop) and
+  /// throw TimeoutError once it passes.  The batch engine stamps this from
+  /// QueuePolicy::max_run_wall so a long-lived service bounds every run;
+  /// time_point::max() (the default) disables the check entirely.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Cooperative cancellation flag (not owned; may be null), checked at
+  /// the same boundaries as `deadline`: once set, the run aborts with an
+  /// Error("run cancelled").  neutrald points every job of a submission at
+  /// one flag so a client `cancel` stops in-flight work between timesteps.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Outcome of one timestep.
@@ -247,6 +261,9 @@ class Simulation {
   /// point (ParticleBank::with_view replaces the old step_aos/step_soa
   /// fork).  wake_census starts a timestep; false resumes immigrants only.
   StepResult step_transport(bool wake_census);
+  /// Throw TimeoutError / Error when config.deadline passed or
+  /// config.cancel is set (called at timestep and round boundaries).
+  void check_interrupt() const;
   void source_window_bank();
   void adopt_window_bank(std::vector<Particle> bank);
   /// Fold the current bank + workspace bytes into the run's peak.

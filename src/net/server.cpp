@@ -1,0 +1,716 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "batch/domain.h"
+#include "batch/shard.h"
+#include "batch/sweep.h"
+#include "io/deck_io.h"
+#include "util/error.h"
+
+namespace neutral::net {
+
+using batch::BatchReport;
+using batch::DomainOptions;
+using batch::DomainRunReport;
+using batch::GroupReduction;
+using batch::Job;
+using batch::JobOutcome;
+using batch::ShardOptions;
+using batch::SweepSpec;
+
+namespace {
+
+std::string format_double(double v, const char* fmt = "%.17g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+const char* state_name(bool queued, bool running) {
+  return queued ? "queued" : running ? "running" : "done";
+}
+
+Fields error_reply(const std::string& message) {
+  return Fields{{"ok", "0"}, {"error", message}};
+}
+
+/// Did this error text come from the cooperative cancel check
+/// (Simulation::check_interrupt)?  Used to tell a job the CLIENT stopped
+/// apart from one that genuinely failed before the cancel arrived.
+bool is_cancel_abort(const std::string& error) {
+  return error.find("run cancelled") != std::string::npos;
+}
+
+/// Map one engine outcome to the protocol's row status vocabulary.  The
+/// cancel flag alone never relabels a row: a job that failed on its own
+/// before the client's cancel arrived stays "failed".
+std::string outcome_status(const JobOutcome& outcome, bool cancel_requested) {
+  if (outcome.ok) return "ok";
+  if (outcome.timed_out) return "timed_out";
+  if (outcome.cancelled) return "cancelled";
+  if (cancel_requested && is_cancel_abort(outcome.error)) return "cancelled";
+  return "failed";
+}
+
+}  // namespace
+
+NeutralServer::NeutralServer(ServerOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {}
+
+NeutralServer::~NeutralServer() {
+  request_shutdown();
+  if (executor_.joinable()) executor_.join();
+}
+
+std::uint16_t NeutralServer::start() {
+  NEUTRAL_REQUIRE(listener_ == nullptr, "server already started");
+  listener_ =
+      std::make_unique<TcpListener>(options_.host, options_.port);
+  port_ = listener_->port();
+  executor_ = std::thread(&NeutralServer::executor_loop, this);
+  return port_;
+}
+
+void NeutralServer::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+void NeutralServer::log(const std::string& line) {
+  if (!options_.verbose) return;
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+}
+
+void NeutralServer::serve() {
+  NEUTRAL_REQUIRE(listener_ != nullptr, "call start() before serve()");
+  // The accept loop must NEVER skip the drain below — detached handler
+  // threads hold `this` — so a hard listener error converts into a
+  // shutdown instead of propagating past the teardown.
+  try {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+      }
+      // The timeout is the shutdown latency bound: every blocking wait in
+      // the daemon polls `stopping_` at least this often.
+      std::optional<TcpStream> stream =
+          listener_->accept(std::chrono::milliseconds(200));
+      if (!stream.has_value()) continue;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+        ++active_connections_;
+      }
+      try {
+        std::thread(&NeutralServer::handle_connection, this,
+                    std::move(*stream))
+            .detach();
+      } catch (...) {
+        // Thread exhaustion: undo the count the handler would have
+        // decremented, or the teardown wait below never reaches zero.
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_connections_;
+        throw;
+      }
+    }
+  } catch (const std::exception& e) {
+    log(std::string("accept loop failed: ") + e.what());
+    request_shutdown();
+  }
+  listener_->close();
+  // Handlers poll the stop flag on their read timeout; wait them out so no
+  // detached thread outlives the server object.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return active_connections_ == 0; });
+  lock.unlock();
+  if (executor_.joinable()) executor_.join();
+  log("neutrald stopped");
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+void NeutralServer::handle_connection(TcpStream stream) {
+  stream.set_read_timeout(std::chrono::milliseconds(250));
+  // A peer that stops reading must not pin this thread in send() forever
+  // (it would also pin shutdown, which waits for every handler to exit).
+  stream.set_write_timeout(std::chrono::seconds(10));
+  try {
+    std::string line;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+      }
+      ReadStatus status;
+      try {
+        status = stream.read_line(line, options_.max_frame_bytes);
+      } catch (const Error& e) {
+        // Oversized or truncated frame: report, then drop the connection —
+        // the byte stream can no longer be re-framed safely.
+        stream.write_all(encode_frame(error_reply(e.what())));
+        break;
+      }
+      if (status == ReadStatus::kTimedOut) continue;
+      if (status == ReadStatus::kEof) break;
+      if (line.empty()) continue;  // tolerate blank keep-alive lines
+      Fields request;
+      try {
+        request = decode_frame(line);
+      } catch (const Error& e) {
+        stream.write_all(encode_frame(error_reply(e.what())));
+        break;  // desynced stream: close
+      }
+      if (!dispatch(stream, request)) break;
+    }
+  } catch (const std::exception&) {
+    // Socket error (peer vanished mid-write): nothing to report to.
+  }
+  {
+    // Notify WHILE holding the lock: serve()'s teardown wait destroys the
+    // server right after it observes zero, so the notify must not touch
+    // members after the count is published.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_connections_;
+    cv_.notify_all();
+  }
+}
+
+bool NeutralServer::dispatch(TcpStream& stream, const Fields& request) {
+  // Every well-framed request gets a reply, whatever goes wrong inside —
+  // a missing "op", a bad knob, or an unexpected exception all answer
+  // ok=0 and keep the connection; only transport errors drop it (thrown
+  // by write_all and handled by the connection loop).
+  Fields reply;
+  bool keep = true;
+  try {
+    const std::string& op = require_field(request, "op");
+    if (op == "result" || op == "watch") {
+      return send_result(stream, request, /*stream_events=*/op == "watch");
+    }
+    if (op == "ping") {
+      reply = Fields{{"ok", "1"}, {"server", "neutrald"}};
+    } else if (op == "submit") {
+      reply = handle_submit(request);
+    } else if (op == "status") {
+      reply = handle_status(request);
+    } else if (op == "cancel") {
+      reply = handle_cancel(request);
+    } else if (op == "shutdown") {
+      reply = Fields{{"ok", "1"}};
+      keep = false;
+      request_shutdown();
+    } else {
+      reply = error_reply("unknown op '" + op + "'");
+    }
+  } catch (const std::exception& e) {
+    reply = error_reply(e.what());
+  }
+  stream.write_all(encode_frame(reply));
+  return keep;
+}
+
+Fields NeutralServer::handle_submit(const Fields& request) {
+  auto sub = std::make_shared<Submission>();
+  const auto deck_it = request.find("deck");
+  const auto spec_it = request.find("spec");
+  NEUTRAL_REQUIRE((deck_it != request.end()) != (spec_it != request.end()),
+                  "submit needs exactly one of 'deck' or 'spec'");
+  const auto copy = [&](const char* key, std::string& into) {
+    const auto it = request.find(key);
+    if (it != request.end()) into = it->second;
+  };
+  copy("label", sub->label);
+  copy("scheme", sub->scheme);
+  copy("layout", sub->layout);
+  copy("tally", sub->tally);
+  copy("schedule", sub->schedule);
+  copy("domains", sub->domains);
+  sub->threads = static_cast<std::int32_t>(field_int(request, "threads", 0));
+  sub->shards = static_cast<std::int32_t>(field_int(request, "shards", 0));
+
+  // Validate everything parseable up front so the client hears about a
+  // bad deck/spec/knob now, not from a failed row later.  The executor
+  // re-parses from text; decks are tiny and this keeps one code path.
+  std::size_t jobs = 1;
+  if (deck_it != request.end()) {
+    sub->deck_text = deck_it->second;
+    (void)parse_deck(sub->deck_text);
+  } else {
+    sub->spec_text = spec_it->second;
+    jobs = batch::sweep_size(batch::parse_sweep(sub->spec_text));
+    // A sweep spec names its own base knobs; per-request overrides would
+    // be silently ignored, so refuse them (shards/domains are execution
+    // options and still apply).
+    NEUTRAL_REQUIRE(sub->scheme.empty() && sub->layout.empty() &&
+                        sub->tally.empty() && sub->schedule.empty() &&
+                        sub->threads == 0,
+                    "spec submissions carry scheme/layout/tally/schedule/"
+                    "threads inside the spec text, not as request fields");
+  }
+  if (!sub->scheme.empty()) (void)scheme_from_string(sub->scheme);
+  if (!sub->layout.empty()) (void)layout_from_string(sub->layout);
+  if (!sub->tally.empty()) (void)tally_mode_from_string(sub->tally);
+  if (!sub->schedule.empty()) (void)schedule_from_string(sub->schedule);
+  if (!sub->domains.empty()) (void)batch::parse_domain_grid(sub->domains);
+  NEUTRAL_REQUIRE(sub->shards >= 0, "shards must be >= 0");
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    NEUTRAL_REQUIRE(!stopping_, "server is shutting down");
+    std::size_t active = pending_.size();
+    for (const auto& [id, existing] : submissions_) {
+      active += existing->state == State::kRunning ? 1 : 0;
+    }
+    NEUTRAL_REQUIRE(active < options_.max_pending_submissions,
+                    "submission queue full (" +
+                        std::to_string(options_.max_pending_submissions) +
+                        " in flight)");
+    sub->id = next_id_++;
+    submissions_.emplace(sub->id, sub);
+    pending_.push_back(sub);
+  }
+  cv_.notify_all();
+  log("submit #" + std::to_string(sub->id) + " (" +
+      (sub->deck_text.empty() ? "spec" : "deck") + ", " +
+      std::to_string(jobs) + " jobs)");
+  return Fields{{"ok", "1"},
+                {"id", std::to_string(sub->id)},
+                {"jobs", std::to_string(jobs)}};
+}
+
+Fields NeutralServer::handle_status(const Fields& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto id_it = request.find("id");
+  if (id_it == request.end()) {
+    std::size_t queued = 0, running = 0, done = 0;
+    for (const auto& [id, sub] : submissions_) {
+      queued += sub->state == State::kQueued ? 1 : 0;
+      running += sub->state == State::kRunning ? 1 : 0;
+      done += sub->state == State::kDone ? 1 : 0;
+    }
+    const batch::WorldCache::Stats cache = engine_.cache().stats();
+    return Fields{{"ok", "1"},
+                  {"queued", std::to_string(queued)},
+                  {"running", std::to_string(running)},
+                  {"done", std::to_string(done)},
+                  {"cache_hits", std::to_string(cache.hits)},
+                  {"cache_misses", std::to_string(cache.misses)},
+                  {"cache_evictions", std::to_string(cache.evictions)},
+                  {"cache_resident_worlds",
+                   std::to_string(cache.resident_worlds)},
+                  {"cache_resident_bytes",
+                   std::to_string(cache.resident_bytes)}};
+  }
+  const std::uint64_t id =
+      static_cast<std::uint64_t>(field_int(request, "id", 0));
+  const auto it = submissions_.find(id);
+  NEUTRAL_REQUIRE(it != submissions_.end(),
+                  "unknown submission id " + std::to_string(id));
+  const Submission& sub = *it->second;
+  Fields reply{{"ok", "1"},
+               {"id", std::to_string(id)},
+               {"state", state_name(sub.state == State::kQueued,
+                                    sub.state == State::kRunning)},
+               {"jobs", std::to_string(sub.jobs_total)},
+               {"events", std::to_string(sub.events.size())}};
+  if (sub.state == State::kDone) {
+    reply["status"] = sub.status;
+    if (!sub.error.empty()) reply["error"] = sub.error;
+  }
+  return reply;
+}
+
+Fields NeutralServer::handle_cancel(const Fields& request) {
+  const std::uint64_t id =
+      static_cast<std::uint64_t>(field_int(request, "id", 0));
+  const char* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = submissions_.find(id);
+    NEUTRAL_REQUIRE(it != submissions_.end(),
+                    "unknown submission id " + std::to_string(id));
+    Submission& sub = *it->second;
+    if (sub.state != State::kDone) sub.cancel->store(true);
+    state = state_name(sub.state == State::kQueued,
+                       sub.state == State::kRunning);
+  }
+  cv_.notify_all();
+  log("cancel #" + std::to_string(id));
+  return Fields{
+      {"ok", "1"}, {"id", std::to_string(id)}, {"state", state}};
+}
+
+bool NeutralServer::send_result(TcpStream& stream, const Fields& request,
+                                bool stream_events) {
+  std::shared_ptr<Submission> sub;
+  try {
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(field_int(request, "id", 0));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = submissions_.find(id);
+    NEUTRAL_REQUIRE(it != submissions_.end(),
+                    "unknown submission id " + std::to_string(id));
+    sub = it->second;
+  } catch (const Error& e) {
+    stream.write_all(encode_frame(error_reply(e.what())));
+    return true;
+  }
+
+  const std::int64_t timeout_ms = field_int(request, "timeout_ms", 0);
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+
+  std::size_t next_event = 0;
+  while (true) {
+    std::vector<Event> fresh;
+    bool done = false;
+    bool stopped = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto ready = [&] {
+        return stopping_ || sub->state == State::kDone ||
+               (stream_events && sub->events.size() > next_event);
+      };
+      if (timeout_ms > 0) {
+        if (!cv_.wait_until(lock, wait_deadline, ready)) {
+          lock.unlock();
+          stream.write_all(encode_frame(error_reply(
+              "pending: submission " + std::to_string(sub->id) +
+              " not finished within timeout_ms")));
+          return true;
+        }
+      } else {
+        cv_.wait(lock, ready);
+      }
+      if (stream_events) {
+        fresh.assign(sub->events.begin() +
+                         static_cast<std::ptrdiff_t>(next_event),
+                     sub->events.end());
+        next_event = sub->events.size();
+      }
+      done = sub->state == State::kDone;
+      stopped = stopping_ && !done;
+    }
+    for (const Event& e : fresh) {
+      stream.write_all(encode_frame(
+          Fields{{"event", "job"},
+                 {"label", e.label},
+                 {"status", e.status},
+                 {"seconds", format_double(e.seconds, "%.6g")},
+                 {"worker", std::to_string(e.worker)}}));
+    }
+    if (done) break;
+    if (stopped) {
+      stream.write_all(
+          encode_frame(error_reply("server is shutting down")));
+      return false;
+    }
+  }
+
+  // Final frames: header, then one row frame per result row.
+  std::vector<RemoteRow> rows;
+  Fields header{{"ok", "1"}, {"id", std::to_string(sub->id)}};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows = sub->rows;
+    header["status"] = sub->status;
+    if (!sub->error.empty()) header["error"] = sub->error;
+  }
+  header["rows"] = std::to_string(rows.size());
+  stream.write_all(encode_frame(header));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RemoteRow& r = rows[i];
+    Fields frame{{"row", std::to_string(i)},
+                 {"label", r.label},
+                 {"particles", std::to_string(r.particles)},
+                 {"tally", r.tally},
+                 {"scheme", r.scheme},
+                 {"layout", r.layout},
+                 {"events", std::to_string(r.events)},
+                 {"seconds", format_double(r.seconds, "%.6g")},
+                 {"checksum", format_double(r.checksum)},
+                 {"population", std::to_string(r.population)},
+                 {"status", r.status}};
+    if (!r.error.empty()) frame["error"] = r.error;
+    stream.write_all(encode_frame(frame));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void NeutralServer::evict_done_locked() {
+  std::size_t done = 0;
+  for (const auto& [id, sub] : submissions_) {
+    done += sub->state == State::kDone ? 1 : 0;
+  }
+  // Ids are monotonic and std::map iterates in id order, so the first
+  // finished entries seen are the oldest results.
+  for (auto it = submissions_.begin();
+       done > options_.max_retained_results &&
+       it != submissions_.end();) {
+    if (it->second->state == State::kDone) {
+      it = submissions_.erase(it);
+      --done;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NeutralServer::executor_loop() {
+  while (true) {
+    std::shared_ptr<Submission> sub;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) break;  // stopping and drained
+      sub = pending_.front();
+      pending_.pop_front();
+      if (stopping_ || sub->cancel->load()) {
+        sub->state = State::kDone;
+        sub->status = "cancelled";
+        sub->error = stopping_ ? "server shutting down"
+                               : "cancelled before it started";
+        evict_done_locked();
+        cv_.notify_all();
+        continue;
+      }
+      sub->state = State::kRunning;
+    }
+    cv_.notify_all();
+    execute(sub);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sub->state = State::kDone;
+      evict_done_locked();
+    }
+    cv_.notify_all();
+    log("done #" + std::to_string(sub->id) + " (" + sub->status + ")");
+  }
+}
+
+void NeutralServer::execute(const std::shared_ptr<Submission>& sub) {
+  std::vector<RemoteRow> rows;
+  std::string status = "ok";
+  std::string error;
+  try {
+    SweepSpec spec;
+    if (!sub->spec_text.empty()) {
+      spec = batch::parse_sweep(sub->spec_text);
+    } else {
+      spec.base.deck = parse_deck(sub->deck_text);
+      if (!sub->scheme.empty()) {
+        spec.base.scheme = scheme_from_string(sub->scheme);
+      }
+      if (!sub->layout.empty()) {
+        spec.base.layout = layout_from_string(sub->layout);
+      }
+      if (!sub->tally.empty()) {
+        spec.base.tally_mode = tally_mode_from_string(sub->tally);
+        spec.tally_mode_named = true;
+      }
+      if (!sub->schedule.empty()) {
+        spec.base.schedule = schedule_from_string(sub->schedule);
+      }
+      spec.base.threads = sub->threads;
+    }
+    std::vector<Job> sweep_jobs = batch::expand_sweep(spec);
+    if (!sub->label.empty() && sweep_jobs.size() == 1) {
+      sweep_jobs.front().label = sub->label;
+    }
+    // Every job of the submission shares one cooperative cancel flag, so a
+    // client `cancel` stops in-flight work at the next timestep boundary.
+    for (Job& job : sweep_jobs) job.config.cancel = sub->cancel.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sub->jobs_total = sweep_jobs.size();
+    }
+
+    auto push_event = [&](std::string label, std::string row_status,
+                          double seconds, std::int32_t worker) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sub->events.push_back(Event{std::move(label), std::move(row_status),
+                                    seconds, worker});
+      }
+      cv_.notify_all();
+    };
+
+    auto row_base = [](const Job& job) {
+      RemoteRow row;
+      row.label = job.label;
+      row.particles = job.config.deck.n_particles;
+      row.scheme = to_string(job.config.scheme);
+      row.layout = to_string(job.config.layout);
+      return row;
+    };
+
+    if (!sub->domains.empty()) {
+      // Mirror `neutral_batch --domains`: decks decompose one after
+      // another (each solve is itself a fork-join over the pool), the
+      // tally mode defaults to atomic unless the spec named one.
+      const auto [rows_n, cols_n] = batch::parse_domain_grid(sub->domains);
+      for (const Job& job : sweep_jobs) {
+        RemoteRow row = row_base(job);
+        if (sub->cancel->load()) {
+          row.status = "cancelled";
+          row.error = "cancelled";
+          row.tally = to_string(job.config.tally_mode);
+          rows.push_back(std::move(row));
+          continue;
+        }
+        SimulationConfig config = job.config;
+        if (!spec.tally_mode_named) config.tally_mode = TallyMode::kAtomic;
+        row.tally = to_string(config.tally_mode);
+        DomainOptions opt;
+        opt.rows = rows_n;
+        opt.cols = cols_n;
+        opt.shards = std::max(sub->shards, 1);
+        opt.group = job.id + 1;
+        opt.threads_per_domain = engine_.options().threads_per_job > 0
+                                     ? engine_.options().threads_per_job
+                                     : 1;
+        const DomainRunReport report = run_domains(engine_, config, opt);
+        row.seconds = report.wall_seconds;
+        if (report.ok && !report.merged.budget.conserved(1e-9)) {
+          row.status = "failed";
+          row.error = "energy not conserved";
+        } else if (report.ok) {
+          row.status = "ok";
+          row.events = report.merged.counters.total_events();
+          row.checksum = report.merged.tally_checksum;
+          row.population = report.merged.population;
+        } else {
+          row.status = report.timed_out ? "timed_out"
+                       : sub->cancel->load() && is_cancel_abort(report.error)
+                           ? "cancelled"
+                           : "failed";
+          row.error = report.error;
+        }
+        push_event(row.label, row.status, row.seconds, -1);
+        rows.push_back(std::move(row));
+      }
+    } else if (sub->shards > 1) {
+      // Mirror `neutral_batch --shards`: each sweep job becomes one
+      // fork-join group, reduced back to a single row.
+      const std::int32_t threads_per_shard =
+          engine_.options().threads_per_job > 0
+              ? engine_
+                    .thread_budget(sweep_jobs.size() *
+                                   static_cast<std::size_t>(sub->shards))
+                    .second
+              : 0;
+      std::vector<Job> jobs;
+      jobs.reserve(sweep_jobs.size() *
+                   static_cast<std::size_t>(sub->shards));
+      for (const Job& job : sweep_jobs) {
+        ShardOptions opt;
+        opt.shards = sub->shards;
+        opt.threads_per_shard = threads_per_shard;
+        opt.priority = job.priority;
+        opt.group = job.id + 1;
+        std::vector<Job> group = batch::make_shard_jobs(
+            job.config, opt,
+            job.id * static_cast<std::uint64_t>(sub->shards),
+            job.label + "/");
+        for (Job& shard_job : group) jobs.push_back(std::move(shard_job));
+      }
+      const BatchReport report = engine_.run(
+          std::move(jobs), [&](const JobOutcome& outcome) {
+            push_event(outcome.label,
+                       outcome_status(outcome, sub->cancel->load()),
+                       outcome.seconds, outcome.worker);
+          });
+      std::size_t next = 0;
+      for (const Job& job : sweep_jobs) {
+        const std::size_t group_size = std::min<std::size_t>(
+            static_cast<std::size_t>(sub->shards),
+            static_cast<std::size_t>(job.config.deck.n_particles));
+        const GroupReduction group = batch::reduce_outcome_group(
+            &report.jobs.at(next), group_size);
+        next += group_size;
+        RemoteRow row = row_base(job);
+        // make_shard_jobs may promote the tally mode; report as executed.
+        row.tally = to_string(report.jobs.at(next - 1).config.tally_mode);
+        if (group.ok && !group.merged.budget.conserved(1e-9)) {
+          row.status = "failed";
+          row.error = "energy not conserved";
+          row.seconds = group.max_shard_seconds;
+        } else if (group.ok) {
+          row.status = "ok";
+          row.events = group.merged.counters.total_events();
+          row.seconds = group.max_shard_seconds;
+          row.checksum = group.merged.tally_checksum;
+          row.population = group.merged.population;
+        } else {
+          row.status = group.timed_out ? "timed_out"
+                       : sub->cancel->load() && is_cancel_abort(group.error)
+                           ? "cancelled"
+                           : "failed";
+          row.error = group.error;
+        }
+        rows.push_back(std::move(row));
+      }
+    } else {
+      const BatchReport report = engine_.run(
+          std::move(sweep_jobs), [&](const JobOutcome& outcome) {
+            push_event(outcome.label,
+                       outcome_status(outcome, sub->cancel->load()),
+                       outcome.seconds, outcome.worker);
+          });
+      for (const JobOutcome& outcome : report.jobs) {
+        RemoteRow row;
+        row.label = outcome.label;
+        row.particles = outcome.config.deck.n_particles;
+        row.tally = to_string(outcome.config.tally_mode);
+        row.scheme = to_string(outcome.config.scheme);
+        row.layout = to_string(outcome.config.layout);
+        row.events = outcome.result.counters.total_events();
+        row.seconds = outcome.seconds;
+        row.checksum = outcome.result.tally_checksum;
+        row.population = outcome.result.population;
+        row.status = outcome_status(outcome, sub->cancel->load());
+        row.error = outcome.error;
+        if (outcome.ok && !outcome.result.budget.conserved(1e-9)) {
+          row.status = "failed";
+          row.error = "energy not conserved";
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+
+    for (const RemoteRow& row : rows) {
+      if (row.status != "ok") {
+        status = row.status;
+        error = row.label + ": " + row.error;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    status = "failed";
+    error = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sub->rows = std::move(rows);
+    sub->status = status;
+    sub->error = error;
+  }
+}
+
+}  // namespace neutral::net

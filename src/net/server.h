@@ -1,0 +1,188 @@
+// neutrald's serving core: a TCP front-end for the batch engine.
+//
+// The PR 1–4 runtime (engine × shards × domains × schemes × layouts) is a
+// fork-join library: a caller builds jobs, blocks in BatchEngine::run, and
+// exits.  NeutralServer turns it into a long-lived service: clients
+// connect over TCP, submit decks or whole sweep specs, and the daemon runs
+// them through ONE shared engine — so every connection hits the same
+// WorldCache, and a thousand submissions of one geometry build its World
+// once.  Physics is untouched: a loopback-submitted deck returns the same
+// bit-identical checksum/population as an in-process run of the same
+// configuration, for every scheme × layout × shard × domain combination
+// (test_net pins this).
+//
+// Protocol (see net/frame.h for the framing): one flat JSON object per
+// line, request → one or more reply frames on the same connection.
+//
+//   {"op":"ping"}                      -> {"ok":"1",...}
+//   {"op":"submit","deck":<.params text>,
+//    "scheme":..,"layout":..,"tally":..,"schedule":..,"threads":..,
+//    "shards":..,"domains":"RxC","label":..}
+//                                      -> {"ok":"1","id":N,"jobs":K}
+//   {"op":"submit","spec":<sweep spec text>,"shards":..,"domains":..}
+//                                      -> same; the spec expands server-side
+//   {"op":"status"}                    -> server totals + world-cache stats
+//   {"op":"status","id":N}             -> submission state + progress
+//   {"op":"watch","id":N}              -> {"event":"job",...} per completed
+//                                         job, then the result frames
+//   {"op":"result","id":N[,"timeout_ms":T]}
+//                                      -> {"ok":"1","id","status","rows":R}
+//                                         followed by R {"row":i,...} frames
+//   {"op":"cancel","id":N}             -> {"ok":"1","state":...}
+//   {"op":"shutdown"}                  -> {"ok":"1"} and the daemon drains
+//
+// Errors answer {"ok":"0","error":...}.  A frame that does not decode at
+// all gets that error reply and the connection is closed (a desynced
+// byte stream cannot be re-framed); well-framed semantic mistakes keep
+// the connection.
+//
+// Execution model: submissions queue FIFO and one executor thread drains
+// them, so concurrent clients share the node the same way one CLI sweep
+// does (the engine's worker pool parallelises; the executor serialises).
+// Deadlines come from EngineOptions::policy: max_queue_wait bounds queue
+// residence, max_run_wall bounds each run — an expired job completes as
+// `timed_out`, its group cancels like a failure, and the daemon keeps
+// serving.  A client `cancel` flips the submission's cooperative flag
+// (SimulationConfig::cancel), stopping in-flight work at the next
+// timestep/round boundary.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/engine.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace neutral::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back from start().
+  std::uint16_t port = 0;
+  /// Engine shared by every connection (QueuePolicy deadlines ride here).
+  batch::EngineOptions engine;
+  /// Reject frames longer than this (deck/spec payload bound).
+  std::size_t max_frame_bytes = 4u << 20;
+  /// Refuse new submissions while this many are queued or running.
+  std::size_t max_pending_submissions = 64;
+  /// Keep at most this many FINISHED submissions queryable; older results
+  /// are evicted oldest-first.  The registry stays bounded no matter how
+  /// long the daemon runs — the same lifetime discipline the queue's
+  /// cancelled-group tombstones got.
+  std::size_t max_retained_results = 256;
+  /// Per-request log lines on stdout.
+  bool verbose = false;
+};
+
+/// One finished row of a submission — one sweep job (plain), one reduced
+/// fork-join group (--shards), or one decomposed solve (--domains).
+struct RemoteRow {
+  std::string label;
+  std::int64_t particles = 0;
+  std::string tally;
+  std::string scheme;
+  std::string layout;
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double checksum = 0.0;
+  std::int64_t population = 0;
+  std::string status;  ///< "ok" | "failed" | "timed_out" | "cancelled"
+  std::string error;
+};
+
+class NeutralServer {
+ public:
+  explicit NeutralServer(ServerOptions options = {});
+  ~NeutralServer();
+
+  /// Bind + listen and spawn the executor; returns the bound port.
+  std::uint16_t start();
+
+  /// Accept loop; blocks until a shutdown request, then drains and joins
+  /// every thread before returning.  Call start() first.
+  void serve();
+
+  /// Ask serve() to wind down (idempotent; callable from any thread).
+  void request_shutdown();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] batch::BatchEngine& engine() { return engine_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  enum class State : std::uint8_t { kQueued, kRunning, kDone };
+
+  struct Event {
+    std::string label;
+    std::string status;
+    double seconds = 0.0;
+    std::int32_t worker = -1;
+  };
+
+  struct Submission {
+    std::uint64_t id = 0;
+    std::string label;
+    std::string deck_text;  ///< exclusive with spec_text
+    std::string spec_text;
+    std::string scheme, layout, tally, schedule;
+    std::int32_t threads = 0;
+    std::int32_t shards = 0;
+    std::string domains;  ///< "RxC" or empty
+    State state = State::kQueued;
+    std::string status;  ///< final submission status once kDone
+    std::string error;
+    std::size_t jobs_total = 0;  ///< expanded sweep jobs (0 until running)
+    std::vector<Event> events;
+    std::vector<RemoteRow> rows;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+  };
+
+  void executor_loop();
+  void execute(const std::shared_ptr<Submission>& sub);
+  /// Drop the oldest finished submissions beyond max_retained_results.
+  /// Caller holds mutex_.
+  void evict_done_locked();
+  void handle_connection(TcpStream stream);
+  /// Dispatch one decoded request; returns false when the connection
+  /// should close (shutdown, or a streaming op that failed mid-write).
+  bool dispatch(TcpStream& stream, const Fields& request);
+
+  Fields handle_submit(const Fields& request);
+  Fields handle_status(const Fields& request);
+  Fields handle_cancel(const Fields& request);
+  /// `result` / `watch`: optionally stream events, then the result header
+  /// and row frames.  Returns false when the connection must close.
+  bool send_result(TcpStream& stream, const Fields& request,
+                   bool stream_events);
+
+  void log(const std::string& line);
+
+  ServerOptions options_;
+  batch::BatchEngine engine_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<TcpListener> listener_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::shared_ptr<Submission>> submissions_;
+  std::deque<std::shared_ptr<Submission>> pending_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+
+  std::thread executor_;
+  /// Handler threads run detached; serve() waits for this to hit zero
+  /// before returning, so the daemon never leaks a thread past shutdown.
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace neutral::net

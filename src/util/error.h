@@ -17,6 +17,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A run aborted because a wall-clock deadline expired (cooperative checks
+/// at timestep/round boundaries — core/simulation.h).  Kept distinct from
+/// Error so schedulers can report `timed_out` rather than a plain failure.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {

@@ -1,10 +1,19 @@
 // Tests for the batch execution engine: sweep expansion, the bounded
-// priority queue, the shared world cache, and end-to-end determinism of
-// batched runs against serial Simulation::run().
+// priority queue (including its deadline policy and cancelled-group
+// tombstone lifetime), the shared world cache, end-to-end determinism of
+// batched runs against serial Simulation::run(), and the CLI's exit-status
+// contract.
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +35,8 @@ using batch::EngineOptions;
 using batch::Job;
 using batch::JobOutcome;
 using batch::JobQueue;
+using batch::PushOutcome;
+using batch::QueuePolicy;
 using batch::SweepSpec;
 using batch::WorldCache;
 
@@ -269,10 +280,10 @@ TEST(JobQueueTest, BoundedCapacityRefusesWhenFull) {
 
 TEST(JobQueueTest, CloseRefusesPushesButDrainsInFlightJobs) {
   JobQueue queue(8);
-  ASSERT_TRUE(queue.push(job_with_priority(1, 0)));
-  ASSERT_TRUE(queue.push(job_with_priority(2, 0)));
+  ASSERT_EQ(queue.push(job_with_priority(1, 0)), PushOutcome::kAccepted);
+  ASSERT_EQ(queue.push(job_with_priority(2, 0)), PushOutcome::kAccepted);
   queue.close();
-  EXPECT_FALSE(queue.push(job_with_priority(3, 0)));
+  EXPECT_EQ(queue.push(job_with_priority(3, 0)), PushOutcome::kRefused);
   EXPECT_TRUE(queue.closed());
   // Jobs queued before close() still pop.
   EXPECT_TRUE(queue.pop().has_value());
@@ -298,12 +309,195 @@ TEST(JobQueueTest, ShutdownWakesBlockedConsumers) {
   for (std::uint64_t i = 0; i < kJobs; ++i) {
     // Blocking push: the capacity-4 queue back-pressures this producer
     // while consumers are mid-"job".
-    ASSERT_TRUE(queue.push(job_with_priority(i, 0)));
+    ASSERT_EQ(queue.push(job_with_priority(i, 0)), PushOutcome::kAccepted);
   }
   queue.close();
   for (std::thread& t : consumers) t.join();
   // Every job pushed before close() was processed; nobody deadlocked.
   EXPECT_EQ(popped.load(), kJobs);
+}
+
+// ---------------------------------------------------------------------------
+// Queue deadlines (QueuePolicy) and cancelled-group tombstone lifetime
+// ---------------------------------------------------------------------------
+
+TEST(JobQueueDeadline, PushDistinguishesTimedOutFromRefused) {
+  QueuePolicy policy;
+  policy.max_queue_wait = std::chrono::milliseconds(30);
+  JobQueue queue(1, policy);
+  ASSERT_EQ(queue.push(job_with_priority(1, 0)), PushOutcome::kAccepted);
+  // Full queue, no consumer: the timed wait expires instead of hanging the
+  // producer forever — and reports kTimedOut (alive but saturated) ...
+  EXPECT_EQ(queue.push(job_with_priority(2, 0)), PushOutcome::kTimedOut);
+  // ... which is NOT the same answer as a closed queue.
+  queue.close();
+  EXPECT_EQ(queue.push(job_with_priority(3, 0)), PushOutcome::kRefused);
+}
+
+TEST(JobQueueDeadline, PushUntilHonoursAnExplicitDeadline) {
+  JobQueue queue(1);  // no policy: plain push() would wait forever
+  ASSERT_EQ(queue.push(job_with_priority(1, 0)), PushOutcome::kAccepted);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.push_until(job_with_priority(2, 0),
+                             start + std::chrono::milliseconds(30)),
+            PushOutcome::kTimedOut);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(JobQueueDeadline, PopUntilReturnsEmptyOnDeadline) {
+  JobQueue queue(4);
+  // Empty queue, nobody pushing: the timed pop returns instead of blocking.
+  EXPECT_FALSE(queue
+                   .pop_until(std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(30))
+                   .has_value());
+  EXPECT_FALSE(queue.closed());  // a timeout is not a shutdown
+  ASSERT_TRUE(queue.try_push(job_with_priority(1, 0)));
+  EXPECT_EQ(queue
+                .pop_until(std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(30))
+                ->id,
+            1u);
+}
+
+TEST(JobQueueTombstones, ForgetGroupKeepsTheCancelledSetBounded) {
+  // Regression for the unbounded-lifetime bug: cancel_pending() inserted a
+  // tombstone per group and nothing ever erased it, so a daemon cancelling
+  // N distinct groups leaked N entries.  forget_group() is the eviction.
+  JobQueue queue(8);
+  for (std::uint64_t group = 1; group <= 512; ++group) {
+    Job job = job_with_priority(group, 0);
+    job.group = group;
+    ASSERT_TRUE(queue.try_push(std::move(job)));
+    EXPECT_EQ(queue.cancel_pending(group).size(), 1u);
+    EXPECT_TRUE(queue.group_cancelled(group));
+    queue.forget_group(group);  // last job of the group accounted for
+    EXPECT_FALSE(queue.group_cancelled(group));
+  }
+  EXPECT_EQ(queue.cancelled_group_count(), 0u);
+  // A forgotten group id is usable again (ids recycle in a long-lived
+  // daemon once their submission is fully retired).
+  Job again = job_with_priority(9999, 0);
+  again.group = 7;
+  EXPECT_TRUE(queue.try_push(std::move(again)));
+}
+
+TEST(Engine, EvictsGroupTombstonesOnceGroupsComplete) {
+  // Engine wiring for the eviction: many failing groups in one run; every
+  // job gets exactly one outcome (fail or cancelled), nothing hangs, and
+  // the per-group bookkeeping drains.  (The queue is per-run; what this
+  // pins is that record-keeping reaches zero for every group, the
+  // precondition forget_group relies on.)
+  std::vector<Job> jobs;
+  for (std::uint64_t group = 1; group <= 16; ++group) {
+    SimulationConfig bad = tiny_config();
+    bad.deck.n_particles = 0;  // every group's first job fails
+    Job leader = batch::make_job(group * 10, bad);
+    leader.group = group;
+    jobs.push_back(std::move(leader));
+    Job sibling = batch::make_job(group * 10 + 1, tiny_config(50));
+    sibling.group = group;
+    jobs.push_back(std::move(sibling));
+  }
+  EngineOptions options;
+  options.workers = 1;
+  BatchEngine engine(options);
+  const BatchReport report = engine.run(std::move(jobs));
+  ASSERT_EQ(report.jobs.size(), 32u);
+  for (const JobOutcome& outcome : report.jobs) {
+    EXPECT_FALSE(outcome.ok);  // leader failed or sibling cancelled
+  }
+  EXPECT_GT(report.cancelled(), 0u);
+}
+
+TEST(Engine, QueueWaitDeadlineExpiresQueuedJobs) {
+  // One worker pinned by a slow custom job: the jobs behind it overstay
+  // max_queue_wait and must complete as timed_out without running.
+  EngineOptions options;
+  options.workers = 1;
+  options.policy.max_queue_wait = std::chrono::milliseconds(40);
+  BatchEngine engine(options);
+
+  std::atomic<int> ran{0};
+  std::vector<Job> jobs;
+  Job slow = batch::make_job(0, tiny_config(50));
+  slow.work = [&ran] {
+    ran.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    return RunResult{};
+  };
+  jobs.push_back(std::move(slow));
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Job blocked = batch::make_job(id, tiny_config(50));
+    blocked.work = [&ran] {
+      ran.fetch_add(1);
+      return RunResult{};
+    };
+    jobs.push_back(std::move(blocked));
+  }
+
+  const BatchReport report = engine.run(std::move(jobs));
+  ASSERT_EQ(report.jobs.size(), 4u);
+  EXPECT_TRUE(report.jobs[0].ok);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(report.jobs[i].ok);
+    EXPECT_TRUE(report.jobs[i].timed_out);
+    EXPECT_NE(report.jobs[i].error.find("max_queue_wait"),
+              std::string::npos);
+  }
+  EXPECT_EQ(report.timed_out(), 3u);
+  EXPECT_EQ(ran.load(), 1);  // expired jobs never ran
+}
+
+TEST(Engine, RunWallDeadlineTimesOutAndCancelsTheGroup) {
+  // A grouped job that overruns max_run_wall aborts at a timestep boundary
+  // (cooperative SimulationConfig::deadline), completes as timed_out, and
+  // cancels its still-queued sibling like any failure would.
+  EngineOptions options;
+  options.workers = 1;
+  options.threads_per_job = 1;
+  options.policy.max_run_wall = std::chrono::milliseconds(50);
+  BatchEngine engine(options);
+
+  SimulationConfig slow = tiny_config(2000);
+  slow.deck.n_timesteps = 500;
+  std::vector<Job> jobs;
+  Job leader = batch::make_job(0, slow);
+  leader.group = 3;
+  jobs.push_back(std::move(leader));
+  Job sibling = batch::make_job(1, slow);
+  sibling.group = 3;
+  jobs.push_back(std::move(sibling));
+
+  const BatchReport report = engine.run(std::move(jobs));
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_FALSE(report.jobs[0].ok);
+  EXPECT_TRUE(report.jobs[0].timed_out);
+  EXPECT_TRUE(report.jobs[1].cancelled);
+  EXPECT_EQ(report.timed_out(), 1u);
+}
+
+TEST(SimulationInterrupt, DeadlineAndCancelAbortBetweenTimesteps) {
+  SimulationConfig config = tiny_config(100);
+  config.deck.n_timesteps = 3;
+  config.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);  // already expired
+  Simulation late(config);
+  EXPECT_THROW(late.run(), TimeoutError);
+
+  std::atomic<bool> cancel{true};
+  SimulationConfig cancelled = tiny_config(100);
+  cancelled.cancel = &cancel;
+  Simulation stopped(cancelled);
+  EXPECT_THROW(stopped.run(), Error);
+
+  cancel.store(false);
+  SimulationConfig fine = tiny_config(100);
+  fine.cancel = &cancel;
+  fine.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  Simulation ok(fine);
+  EXPECT_NO_THROW(ok.run());
 }
 
 // ---------------------------------------------------------------------------
@@ -568,6 +762,74 @@ TEST(Engine, DuplicateJobIdsAreRejected) {
   BatchEngine engine;
   EXPECT_THROW(engine.run(std::move(jobs)), Error);
 }
+
+// ---------------------------------------------------------------------------
+// CLI exit-status audit: failures must never be buried in the CSV
+// ---------------------------------------------------------------------------
+
+#ifdef NEUTRAL_BATCH_BIN
+
+/// Spawn the real neutral_batch binary and return its exit status.
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(NEUTRAL_BATCH_BIN) + " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return rc < 0 ? rc : WEXITSTATUS(rc);
+}
+
+/// Unique scratch path in the ctest working directory.
+std::string scratch(const std::string& stem) {
+  return stem + "." + std::to_string(::getpid());
+}
+
+TEST(CliExitStatus, FailingSweepJobYieldsNonZeroExit) {
+  // A sweep whose second job carries a deliberately unrunnable deck
+  // (particles 0): the CSV records the FAIL row, and the process exit
+  // status must say so too.
+  const std::string spec = scratch("exitstatus_failing.spec");
+  const std::string csv = scratch("exitstatus_failing.csv");
+  {
+    std::ofstream out(spec);
+    out << "deck csp\nmesh_scale 0.02\ntimesteps 1\n"
+           "axis particles 100 0\n";
+  }
+  EXPECT_NE(run_cli("--spec " + spec + " --quiet --csv " + csv), 0);
+  std::remove(spec.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliExitStatus, MalformedDeckInASweepFailsLoudly) {
+  const std::string deck = scratch("exitstatus_malformed.params");
+  const std::string spec = scratch("exitstatus_malformed.spec");
+  const std::string csv = scratch("exitstatus_malformed.csv");
+  {
+    std::ofstream out(deck);
+    out << "nx definitely-not-a-number\n";
+  }
+  {
+    std::ofstream out(spec);
+    out << "deck_file " + deck + "\naxis particles 100 200\n";
+  }
+  EXPECT_NE(run_cli("--spec " + spec + " --quiet --csv " + csv), 0);
+  std::remove(deck.c_str());
+  std::remove(spec.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliExitStatus, HealthySweepStillExitsZero) {
+  const std::string spec = scratch("exitstatus_ok.spec");
+  const std::string csv = scratch("exitstatus_ok.csv");
+  {
+    std::ofstream out(spec);
+    out << "deck csp\nmesh_scale 0.02\ntimesteps 1\nthreads 1\n"
+           "axis particles 100 200\n";
+  }
+  EXPECT_EQ(run_cli("--spec " + spec + " --quiet --csv " + csv), 0);
+  std::remove(spec.c_str());
+  std::remove(csv.c_str());
+}
+
+#endif  // NEUTRAL_BATCH_BIN
 
 }  // namespace
 }  // namespace neutral

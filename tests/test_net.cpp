@@ -1,0 +1,413 @@
+// Tests for the TCP front-end (src/net/): frame codec strictness, loopback
+// round-trips that must be bit-identical to in-process runs for every
+// scheme x layout x shard x domain combination, deadline expiry under a
+// QueuePolicy, malformed-frame rejection, cooperative cancellation, and
+// concurrent clients sharing one world cache.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "batch/domain.h"
+#include "batch/engine.h"
+#include "batch/shard.h"
+#include "core/simulation.h"
+#include "io/deck_io.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "util/error.h"
+
+namespace neutral {
+namespace {
+
+using net::Fields;
+using net::NeutralClient;
+using net::NeutralServer;
+using net::RemoteResult;
+using net::ServerOptions;
+using net::SubmitRequest;
+
+ProblemDeck tiny_deck(std::int64_t particles = 400,
+                      std::int32_t timesteps = 1) {
+  ProblemDeck deck = csp_deck(/*mesh_scale=*/0.02, /*particle_scale=*/1.0);
+  deck.n_particles = particles;
+  deck.n_timesteps = timesteps;
+  return deck;
+}
+
+/// A NeutralServer on an ephemeral loopback port with its serve() thread,
+/// torn down (drained and joined) on scope exit.
+class TestServer {
+ public:
+  explicit TestServer(ServerOptions options = {}) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    options.verbose = false;
+    server_ = std::make_unique<NeutralServer>(std::move(options));
+    port_ = server_->start();
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+  ~TestServer() {
+    server_->request_shutdown();
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] NeutralClient connect() const {
+    return NeutralClient("127.0.0.1", port_);
+  }
+
+ private:
+  std::unique_ptr<NeutralServer> server_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+TEST(Frame, RoundTripsPayloadsWithEscapes) {
+  Fields fields{{"op", "submit"},
+                {"deck", "line one\nline \"two\"\r\n\tend\\"},
+                {"label", "csp/n=100"}};
+  const std::string wire = net::encode_frame(fields);
+  // One line: the only '\n' is the terminator.
+  EXPECT_EQ(wire.find('\n'), wire.size() - 1);
+  EXPECT_EQ(net::decode_frame(wire), fields);
+  // Control bytes survive via \u escapes.
+  Fields control{{"k", std::string("a\x01b", 3)}};
+  EXPECT_EQ(net::decode_frame(net::encode_frame(control)), control);
+}
+
+TEST(Frame, RejectsMalformedInput) {
+  EXPECT_THROW(net::decode_frame("not json"), Error);
+  EXPECT_THROW(net::decode_frame(""), Error);
+  EXPECT_THROW(net::decode_frame("{\"a\":\"b\"} trailing"), Error);
+  EXPECT_THROW(net::decode_frame("{\"a\":1}"), Error);          // number
+  EXPECT_THROW(net::decode_frame("{\"a\":{\"b\":\"c\"}}"), Error);  // nested
+  EXPECT_THROW(net::decode_frame("{\"a\":[\"b\"]}"), Error);    // array
+  EXPECT_THROW(net::decode_frame("{\"a\":\"b\",\"a\":\"c\"}"), Error);
+  EXPECT_THROW(net::decode_frame("{\"a\":\"unterminated}"), Error);
+  EXPECT_THROW(net::decode_frame("{\"a\":\"bad \\x escape\"}"), Error);
+  EXPECT_THROW(net::decode_frame("{\"a\":\"\\ud800\"}"), Error);
+  EXPECT_NO_THROW(net::decode_frame("{}"));
+  EXPECT_NO_THROW(net::decode_frame("  {\"a\":\"b\"}  "));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback round-trips: served physics == in-process physics, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, LoopbackDeckMatchesInProcessRunExactly) {
+  TestServer server;
+  NeutralClient client = server.connect();
+
+  const ProblemDeck deck = tiny_deck(400);
+  SubmitRequest request;
+  request.deck_text = format_deck(deck);
+  request.threads = 1;  // bit-exactness needs one OpenMP thread (atomic tally)
+  request.label = "roundtrip";
+  const std::uint64_t id = client.submit(request);
+  const RemoteResult result = client.wait(id);
+  ASSERT_EQ(result.status, "ok") << result.error;
+  ASSERT_EQ(result.rows.size(), 1u);
+
+  SimulationConfig config;
+  config.deck = deck;
+  config.threads = 1;
+  Simulation sim(config);
+  const RunResult reference = sim.run();
+
+  EXPECT_EQ(result.rows[0].checksum, reference.tally_checksum);
+  EXPECT_EQ(result.rows[0].population, reference.population);
+  EXPECT_EQ(result.rows[0].events, reference.counters.total_events());
+  EXPECT_EQ(result.rows[0].status, "ok");
+  EXPECT_EQ(result.rows[0].label, "roundtrip");
+}
+
+TEST(NetServer, MatrixSchemesLayoutsShardsDomainsAllBitIdentical) {
+  // Every scheme x layout x shard x domain combination submitted over
+  // loopback must return the same checksum/population as the equivalent
+  // in-process call (Simulation::run, run_sharded, run_domains).  The
+  // tally mode is NAMED atomic so server-side defaulting never diverges
+  // from the reference configs.
+  TestServer server;
+  NeutralClient client = server.connect();
+  batch::BatchEngine local_engine;
+
+  const ProblemDeck deck = tiny_deck(300, 2);
+  for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+    for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+      for (const std::int32_t shards : {1, 2}) {
+        for (const char* domains : {"", "2x1"}) {
+          SimulationConfig config;
+          config.deck = deck;
+          config.scheme = scheme;
+          config.layout = layout;
+          config.tally_mode = TallyMode::kAtomic;
+          config.threads = 1;
+
+          double want_checksum = 0.0;
+          std::int64_t want_population = 0;
+          if (domains[0] != '\0') {
+            batch::DomainOptions opt;
+            opt.rows = 2;
+            opt.cols = 1;
+            opt.shards = shards;
+            opt.threads_per_domain = 1;
+            const batch::DomainRunReport reference =
+                run_domains(local_engine, config, opt);
+            ASSERT_TRUE(reference.ok) << reference.error;
+            want_checksum = reference.merged.tally_checksum;
+            want_population = reference.merged.population;
+          } else if (shards > 1) {
+            batch::ShardOptions opt;
+            opt.shards = shards;
+            const batch::ShardedRunReport reference =
+                run_sharded(local_engine, config, opt);
+            ASSERT_TRUE(reference.ok) << reference.error;
+            want_checksum = reference.merged.tally_checksum;
+            want_population = reference.merged.population;
+          } else {
+            Simulation sim(config);
+            const RunResult reference = sim.run();
+            want_checksum = reference.tally_checksum;
+            want_population = reference.population;
+          }
+
+          SubmitRequest request;
+          request.deck_text = format_deck(deck);
+          request.scheme = to_string(scheme);
+          request.layout = to_string(layout);
+          request.tally = "atomic";
+          request.threads = 1;
+          request.shards = shards > 1 ? shards : 0;
+          request.domains = domains;
+          // Streamed wait (the watch op): domain-mode events carry
+          // worker = -1 and must still parse client-side.
+          std::size_t events_seen = 0;
+          const RemoteResult result = client.wait(
+              client.submit(request),
+              [&events_seen](const net::RemoteEvent&) { ++events_seen; });
+          const std::string cell = std::string(to_string(scheme)) + "/" +
+                                   to_string(layout) + "/shards=" +
+                                   std::to_string(shards) + "/domains=" +
+                                   (domains[0] ? domains : "-");
+          EXPECT_GE(events_seen, 1u) << cell;
+          ASSERT_EQ(result.status, "ok") << cell << ": " << result.error;
+          ASSERT_EQ(result.rows.size(), 1u) << cell;
+          EXPECT_EQ(result.rows[0].checksum, want_checksum) << cell;
+          EXPECT_EQ(result.rows[0].population, want_population) << cell;
+        }
+      }
+    }
+  }
+}
+
+TEST(NetServer, SweepSpecExpandsServerSide) {
+  TestServer server;
+  NeutralClient client = server.connect();
+  SubmitRequest request;
+  request.spec_text =
+      "deck csp\n"
+      "mesh_scale 0.02\n"
+      "timesteps 1\n"
+      "particles 200\n"
+      "threads 1\n"
+      "axis particles 100 200\n"
+      "axis layout aos soa\n";
+  const std::uint64_t id = client.submit(request);
+  std::vector<std::string> seen;
+  const RemoteResult result = client.wait(
+      id, [&](const net::RemoteEvent& event) { seen.push_back(event.label); });
+  ASSERT_EQ(result.status, "ok") << result.error;
+  ASSERT_EQ(result.rows.size(), 4u);
+  // The watch op streamed one completion event per job.
+  EXPECT_EQ(seen.size(), 4u);
+  // Same geometry throughout: the shared cache built one world.
+  const Fields status = client.status();
+  EXPECT_EQ(status.at("cache_misses"), "1");
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines, cancellation, malformed frames, concurrency
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, RunWallDeadlineTimesOutAndServerKeepsServing) {
+  ServerOptions options;
+  options.engine.policy.max_run_wall = std::chrono::milliseconds(60);
+  TestServer server(options);
+  NeutralClient client = server.connect();
+
+  // Many timesteps: the cooperative deadline check fires at a step
+  // boundary long before the run finishes.
+  SubmitRequest slow;
+  slow.deck_text = format_deck(tiny_deck(2000, 500));
+  slow.threads = 1;
+  const RemoteResult timed_out = client.wait(client.submit(slow));
+  EXPECT_EQ(timed_out.status, "timed_out") << timed_out.error;
+  ASSERT_EQ(timed_out.rows.size(), 1u);
+  EXPECT_EQ(timed_out.rows[0].status, "timed_out");
+
+  // The daemon shrugs it off: the next submission completes normally.
+  SubmitRequest quick;
+  quick.deck_text = format_deck(tiny_deck(100, 1));
+  quick.threads = 1;
+  const RemoteResult ok = client.wait(client.submit(quick));
+  EXPECT_EQ(ok.status, "ok") << ok.error;
+}
+
+TEST(NetServer, RunWallDeadlineCancelsShardSiblings) {
+  ServerOptions options;
+  options.engine.workers = 1;  // siblings still queued when the first expires
+  options.engine.policy.max_run_wall = std::chrono::milliseconds(60);
+  TestServer server(options);
+  NeutralClient client = server.connect();
+
+  SubmitRequest request;
+  request.deck_text = format_deck(tiny_deck(2000, 500));
+  request.threads = 1;
+  request.shards = 3;
+  const RemoteResult result = client.wait(client.submit(request));
+  EXPECT_EQ(result.status, "timed_out") << result.error;
+  ASSERT_EQ(result.rows.size(), 1u);
+  // The reduced row reports the root cause, not a cancelled sibling.
+  EXPECT_EQ(result.rows[0].status, "timed_out");
+  EXPECT_NE(result.rows[0].error.find("timed out"), std::string::npos);
+}
+
+TEST(NetServer, CancelStopsARunningSubmission) {
+  TestServer server;
+  NeutralClient client = server.connect();
+
+  SubmitRequest slow;
+  slow.deck_text = format_deck(tiny_deck(2000, 2000));
+  slow.threads = 1;
+  const std::uint64_t id = client.submit(slow);
+  // Wait for it to actually start, then cancel mid-run.
+  while (client.status(id).at("state") == "queued") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  client.cancel(id);
+  const RemoteResult result = client.wait(id);
+  EXPECT_EQ(result.status, "cancelled") << result.error;
+
+  SubmitRequest quick;
+  quick.deck_text = format_deck(tiny_deck(100, 1));
+  quick.threads = 1;
+  EXPECT_EQ(client.wait(client.submit(quick)).status, "ok");
+}
+
+TEST(NetServer, CancelBeforeStartSkipsExecution) {
+  TestServer server;
+  NeutralClient client = server.connect();
+
+  SubmitRequest slow;
+  slow.deck_text = format_deck(tiny_deck(2000, 2000));
+  slow.threads = 1;
+  const std::uint64_t first = client.submit(slow);
+  SubmitRequest queued;
+  queued.deck_text = format_deck(tiny_deck(100, 1));
+  queued.threads = 1;
+  const std::uint64_t second = client.submit(queued);
+  client.cancel(second);  // still queued behind `first`
+  client.cancel(first);   // then unblock the executor quickly
+  const RemoteResult result = client.wait(second);
+  EXPECT_EQ(result.status, "cancelled");
+  EXPECT_TRUE(result.rows.empty());  // never expanded, never ran
+}
+
+TEST(NetServer, MalformedFramesAreRejectedWithoutKillingTheServer) {
+  TestServer server;
+
+  net::TcpStream raw =
+      net::TcpStream::connect("127.0.0.1", server.port());
+  raw.write_all("this is not a frame\n");
+  std::string line;
+  ASSERT_EQ(raw.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  const Fields reply = net::decode_frame(line);
+  EXPECT_EQ(reply.at("ok"), "0");
+  EXPECT_NE(reply.at("error").find("malformed"), std::string::npos);
+  // The connection is closed after a framing error...
+  EXPECT_EQ(raw.read_line(line, 1 << 20), net::ReadStatus::kEof);
+
+  // ...but well-framed semantic mistakes keep their connection, and the
+  // server keeps serving new ones.
+  NeutralClient client = server.connect();
+  EXPECT_THROW((void)client.call(Fields{{"op", "bogus"}}), Error);
+  EXPECT_THROW((void)client.call(Fields{{"id", "1"}}), Error);  // no op
+  EXPECT_NO_THROW(client.ping());
+}
+
+TEST(NetServer, ConcurrentClientsShareOneWorldCache) {
+  TestServer server;
+
+  // Two clients, same geometry, different run-control knobs: correct
+  // results for both, one world build between them.
+  std::vector<RemoteResult> results(2);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      NeutralClient client = server.connect();
+      SubmitRequest request;
+      request.deck_text = format_deck(tiny_deck(c == 0 ? 200 : 400));
+      request.threads = 1;
+      results[static_cast<std::size_t>(c)] =
+          client.wait(client.submit(request));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_EQ(results[static_cast<std::size_t>(c)].status, "ok")
+        << results[static_cast<std::size_t>(c)].error;
+    SimulationConfig config;
+    config.deck = tiny_deck(c == 0 ? 200 : 400);
+    config.threads = 1;
+    Simulation sim(config);
+    EXPECT_EQ(results[static_cast<std::size_t>(c)].rows[0].checksum,
+              sim.run().tally_checksum);
+  }
+
+  NeutralClient client = server.connect();
+  const Fields status = client.status();
+  EXPECT_EQ(status.at("cache_misses"), "1");  // one geometry, built once
+  EXPECT_EQ(status.at("done"), "2");
+}
+
+TEST(NetServer, SubmitRejectsBadDecksSpecsAndKnobs) {
+  TestServer server;
+  NeutralClient client = server.connect();
+
+  SubmitRequest bad_deck;
+  bad_deck.deck_text = "nx not-a-number\n";
+  EXPECT_THROW((void)client.submit(bad_deck), Error);
+
+  SubmitRequest bad_spec;
+  bad_spec.spec_text = "bogus_key 1\n";
+  EXPECT_THROW((void)client.submit(bad_spec), Error);
+
+  SubmitRequest bad_knob;
+  bad_knob.deck_text = format_deck(tiny_deck(100));
+  bad_knob.scheme = "over-quantum";
+  EXPECT_THROW((void)client.submit(bad_knob), Error);
+
+  SubmitRequest bad_grid;
+  bad_grid.deck_text = format_deck(tiny_deck(100));
+  bad_grid.domains = "2by2";
+  EXPECT_THROW((void)client.submit(bad_grid), Error);
+
+  // Rejections left nothing queued; a good submission still works.
+  SubmitRequest good;
+  good.deck_text = format_deck(tiny_deck(100));
+  good.threads = 1;
+  EXPECT_EQ(client.wait(client.submit(good)).status, "ok");
+}
+
+}  // namespace
+}  // namespace neutral
