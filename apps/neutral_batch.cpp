@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -45,6 +46,8 @@
 #include "core/simulation.h"
 #include "io/results_io.h"
 #include "net/client.h"
+#include "obs/trace.h"
+#include "perf/profiler.h"
 #include "runtime/host_info.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -206,6 +209,15 @@ int main(int argc, char** argv) {
         "connect", "",
         "run the sweep against a neutrald at host:port instead of "
         "in-process (composes with --spec/--shards/--domains)");
+    options.profile = cli.flag(
+        "profile",
+        "collect per-phase TSC timings in every job and print the sweep's "
+        "aggregate grind-time table (probes live in the over-particles "
+        "scheme; physics and checksums are unchanged)");
+    const std::string trace_log = cli.option(
+        "trace-log", "",
+        "append one JSON line per job lifecycle event here "
+        "(src/obs/trace.h)");
     if (!cli.finish()) return 0;
     options.cache.max_bytes =
         static_cast<std::uint64_t>(std::max(cache_mb, 0L)) << 20;
@@ -224,6 +236,10 @@ int main(int argc, char** argv) {
                       "--connect");
       NEUTRAL_REQUIRE(record_dir.empty(),
                       "--record-dir is not supported with --connect");
+      NEUTRAL_REQUIRE(!options.profile && trace_log.empty(),
+                      "--profile / --trace-log observe the in-process "
+                      "engine; start neutrald with --trace-log for the "
+                      "daemon side");
       NEUTRAL_REQUIRE(options.workers == 0 && options.threads_per_job == 0 &&
                           options.queue_capacity == 0 &&
                           options.reuse_worlds && cache_mb == 0,
@@ -243,6 +259,11 @@ int main(int argc, char** argv) {
     const SweepSpec spec = spec_path.empty() ? parse_sweep(kDefaultSpec)
                                              : load_sweep(spec_path);
     const std::vector<Job> sweep_jobs = expand_sweep(spec);
+    std::unique_ptr<obs::TraceLog> trace;
+    if (!trace_log.empty()) {
+      trace = std::make_unique<obs::TraceLog>(trace_log);
+      options.trace = trace.get();
+    }
     BatchEngine engine(options);
 
     // --domains: run every sweep job through the mesh decomposition and
@@ -270,8 +291,13 @@ int main(int argc, char** argv) {
            "migrations", "rounds", "peak slab [MiB]", "peak bank [MiB]",
            "tally checksum", "population", "status"});
       bool domains_ok = true;
+      PhaseProfiler::Report sweep_phases;
       for (const Job& job : sweep_jobs) {
         SimulationConfig config = job.config;
+        // Domain jobs carry custom work closures, so the engine's profile
+        // stamp never reaches them — bake the flag into the base config
+        // run_domains propagates to every subdomain Simulation.
+        if (options.profile) config.profile = true;
         // Domains compose with every scheme x layout now, so the sweep's
         // axes run as declared.  The tally mode DEFAULTS to atomic — the
         // deferred mode expand_sweep defaults over-events jobs to buffers
@@ -291,6 +317,7 @@ int main(int argc, char** argv) {
             options.threads_per_job > 0 ? options.threads_per_job : 1;
         const DomainRunReport report =
             run_domains(engine, config, domain_options);
+        if (report.ok) sweep_phases += report.merged.phases;
         if (!quiet) {
           std::printf("done %-44s %s\n", job.label.c_str(),
                       report.ok ? "ok" : report.error.c_str());
@@ -334,6 +361,12 @@ int main(int argc, char** argv) {
       table.print();
       table.write_csv(csv);
       std::printf("wrote %s\n", csv.c_str());
+      if (options.profile) {
+        std::fputs(
+            format_grind_table(sweep_phases, PhaseProfiler::tsc_ghz())
+                .c_str(),
+            stdout);
+      }
       return domains_ok ? 0 : 1;
     }
 
@@ -492,6 +525,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.cache.resident_worlds),
                 static_cast<double>(report.cache.resident_bytes) /
                     (1 << 20));
+    if (options.profile) {
+      std::fputs(format_grind_table(report.phase_totals(),
+                                    PhaseProfiler::tsc_ghz())
+                     .c_str(),
+                 stdout);
+    }
 
     bool ok = report.failed() == 0 && tables_ok;
     if (!record_dir.empty()) {

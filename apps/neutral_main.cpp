@@ -81,23 +81,12 @@ void print_report(const SimulationConfig& cfg, const RunResult& r) {
               r.budget.conserved(1e-9) ? "PASS" : "FAIL");
 }
 
-void print_profile(const Simulation& sim, const RunResult& r) {
-  const PhaseProfiler* profiler = sim.profiler();
-  if (profiler == nullptr) return;
-  const auto report = profiler->report();
-  const double ghz = PhaseProfiler::tsc_ghz();
-  std::printf("\n== §VI-A phase profile ==\n");
-  std::printf("%-14s %12s %14s %10s\n", "phase", "visits", "ns/visit",
-              "share");
-  for (int p = 0; p < kNumPhases; ++p) {
-    const auto phase = static_cast<Phase>(p);
-    if (report.visits[p] == 0) continue;
-    std::printf("%-14s %12llu %14.1f %9.1f%%\n", to_string(phase),
-                static_cast<unsigned long long>(report.visits[p]),
-                report.cycles_per_visit(phase) / ghz,
-                100.0 * report.fraction(phase));
-  }
-  (void)r;
+// RunResult::phases is extensive and survives shard/domain reduction, so
+// one formatter serves the plain, sharded and decomposed paths — and
+// matches the batch sweep's table byte-for-byte in layout.
+void print_profile(const RunResult& r) {
+  std::fputs(format_grind_table(r.phases, PhaseProfiler::tsc_ghz()).c_str(),
+             stdout);
 }
 
 }  // namespace
@@ -177,11 +166,6 @@ int main(int argc, char** argv) {
       // subdomain facets, stitch the slabs back bit-identically
       // (src/batch/domain.h).
       const auto [rows, cols] = batch::parse_domain_grid(domains);
-      if (config.profile) {
-        std::printf("note           : --profile is per-Simulation; ignored "
-                    "for domain runs\n");
-        config.profile = false;
-      }
       batch::EngineOptions engine_options;
       engine_options.workers = domain_workers;
       batch::BatchEngine engine(engine_options);
@@ -198,6 +182,7 @@ int main(int argc, char** argv) {
       NEUTRAL_REQUIRE(domain_report.ok, domain_report.error);
       result = domain_report.merged;
       print_report(config, result);
+      if (config.profile) print_profile(result);
       // Full mesh-resident footprint for the comparison: the summed tally
       // slabs (== the full tally) plus the full density field the slabs
       // avoided allocating.
@@ -229,11 +214,6 @@ int main(int argc, char** argv) {
       // Fork-join path: split the bank into shard jobs on a batch engine
       // and reduce.  The merged checksum/population are invariant to the
       // shard and worker counts (src/batch/shard.h).
-      if (config.profile) {
-        std::printf("note           : --profile is per-Simulation; ignored "
-                    "for sharded runs\n");
-        config.profile = false;
-      }
       batch::EngineOptions engine_options;
       engine_options.workers = shard_workers;
       engine_options.threads_per_job = config.threads > 0 ? config.threads : 1;
@@ -249,6 +229,7 @@ int main(int argc, char** argv) {
       NEUTRAL_REQUIRE(sharded.ok, sharded.error);
       result = sharded.merged;
       print_report(config, result);
+      if (config.profile) print_profile(result);
       std::printf("sharding       : %d shards on %d workers, %.4f s wall "
                   "(%.3g events/s), imbalance %.2f\n",
                   shards, sharded.batch.workers, sharded.wall_seconds,
@@ -267,7 +248,7 @@ int main(int argc, char** argv) {
       Simulation sim(config);
       result = sim.run();
       print_report(config, result);
-      if (config.profile) print_profile(sim, result);
+      if (config.profile) print_profile(result);
       if (!heatmap.empty()) {
         write_heatmap_ppm(heatmap, sim.mesh(), sim.tally().data());
         std::printf("heatmap        : wrote %s\n", heatmap.c_str());

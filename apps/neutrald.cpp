@@ -54,12 +54,22 @@ int main(int argc, char** argv) {
         "max-pending", 64, "refuse submits beyond this many in flight"));
     options.max_retained_results = static_cast<std::size_t>(cli.option_int(
         "max-retained", 256, "finished submissions kept queryable"));
+    const long metrics_port_raw = cli.option_int(
+        "metrics-port", 0,
+        "serve Prometheus text exposition over plain HTTP on this port "
+        "(GET /metrics; 0 = disabled — the `metrics` frame op always works)");
+    options.trace_path = cli.option(
+        "trace-log", "",
+        "append one JSON line per job lifecycle event here (src/obs/trace.h)");
     options.verbose = !cli.flag("quiet", "suppress per-request log lines");
     if (!cli.finish()) return 0;
     // Validate flags at startup: a daemon that limps along failing every
     // submission is worse than one that refuses to start.
     NEUTRAL_REQUIRE(port_raw >= 0 && port_raw <= 65535,
                     "--port must be 0..65535");
+    NEUTRAL_REQUIRE(metrics_port_raw >= 0 && metrics_port_raw <= 65535,
+                    "--metrics-port must be 0..65535");
+    options.metrics_port = static_cast<std::uint16_t>(metrics_port_raw);
     NEUTRAL_REQUIRE(queue_wait_ms >= 0 && run_wall_ms >= 0,
                     "--max-queue-wait-ms / --max-run-wall-ms must be >= 0");
     options.port = static_cast<std::uint16_t>(port_raw);

@@ -1,0 +1,206 @@
+// `bench_transport` — the recorded perf trajectory.
+//
+// Runs the golden decks (the same ones tests/test_golden.cpp pins) across
+// scheme x layout with phase profiling on, and writes the committed
+// BENCH_transport.json record: events/sec, per-phase ns/event (§VI-A grind
+// times), peak bytes, and host info.  CI regenerates the document on every
+// push, schema-checks it (`--check`), and uploads it as an artifact — a
+// perf trajectory over the repo's history without gating merges on timing
+// noise.
+//
+//   $ bench_transport                      # 3 decks x 2 schemes x 2 layouts
+//   $ bench_transport --particles 100000 --repeats 3
+//   $ bench_transport --check BENCH_transport.json   # schema check + exit
+//
+// Timings default to 1 OpenMP thread so ns/event is a per-core grind time
+// (comparable to the paper's table) and checksums stay bit-exact run to
+// run.  The checksum column doubles as a correctness anchor: for the
+// default particle count it must match across every layout at fixed
+// scheme, like the golden tier proves at small scale.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "io/deck_io.h"
+#include "obs/bench_record.h"
+#include "perf/profiler.h"
+#include "runtime/host_info.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/table.h"
+
+#ifndef NEUTRAL_GOLDEN_DIR
+#define NEUTRAL_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace neutral;
+
+constexpr const char* kDecks[] = {"golden_stream", "golden_scatter",
+                                  "golden_csp"};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  NEUTRAL_REQUIRE(in.good(), "cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Short scheme/layout tokens for the JSON record (the long display forms
+/// stay in the table).
+const char* scheme_token(Scheme s) {
+  return s == Scheme::kOverParticles ? "particles" : "events";
+}
+const char* layout_token(Layout l) {
+  return l == Layout::kAoS ? "aos" : "soa";
+}
+
+int check_mode(const std::string& path) {
+  const std::vector<std::string> problems =
+      obs::validate_bench_record(read_file(path));
+  if (problems.empty()) {
+    std::printf("%s: schema ok (%s)\n", path.c_str(),
+                obs::kBenchTransportSchema);
+    return 0;
+  }
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    const std::string out_path = cli.option(
+        "out", "BENCH_transport.json", "where to write the record");
+    const std::string check_path = cli.option(
+        "check", "",
+        "validate an existing record against the schema and exit (CI runs "
+        "this on the artifact)");
+    const std::string deck_dir = cli.option(
+        "deck-dir", NEUTRAL_GOLDEN_DIR, "directory with golden_*.params");
+    const long particles = cli.option_int(
+        "particles", 20000,
+        "particles per deck (0 = the deck's own count; the default is "
+        "large enough for stable grind times)");
+    const auto repeats = static_cast<int>(cli.option_int(
+        "repeats", 1, "timing repeats per config, best-of kept"));
+    const auto threads = static_cast<std::int32_t>(cli.option_int(
+        "threads", 1,
+        "OpenMP threads (1 keeps ns/event a per-core grind time and "
+        "checksums bit-exact)"));
+    if (!cli.finish()) return 0;
+    if (!check_path.empty()) return check_mode(check_path);
+    NEUTRAL_REQUIRE(repeats >= 1, "--repeats must be >= 1");
+    NEUTRAL_REQUIRE(particles >= 0, "--particles must be >= 0");
+
+    const HostInfo host = probe_host();
+    obs::BenchDocument doc;
+    doc.cpu_model = host.cpu_model;
+    doc.logical_cpus = host.logical_cpus;
+    doc.openmp_max_threads = host.openmp_max_threads;
+    doc.threads = threads;
+    doc.repeats = repeats;
+
+    const double ghz = PhaseProfiler::tsc_ghz();
+    std::printf("# bench_transport — perf trajectory record\n");
+    std::printf("# %s\n", host_banner().c_str());
+    std::printf("# particles=%ld repeats=%d threads=%d tsc=%.2f GHz\n",
+                particles, repeats, threads, ghz);
+
+    ResultTable table("bench_transport",
+                      {"deck", "scheme", "layout", "particles", "events",
+                       "events/s", "solve [s]", "tally checksum"});
+    PhaseProfiler::Report all_phases;
+    for (const char* deck_name : kDecks) {
+      const ProblemDeck deck =
+          load_deck(deck_dir + std::string("/") + deck_name + ".params");
+      for (const Scheme scheme :
+           {Scheme::kOverParticles, Scheme::kOverEvents}) {
+        for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+          SimulationConfig config;
+          config.deck = deck;
+          if (particles > 0) config.deck.n_particles = particles;
+          config.scheme = scheme;
+          config.layout = layout;
+          config.threads = threads;
+          config.profile = true;
+          RunResult best;
+          for (int r = 0; r < repeats; ++r) {
+            Simulation sim(config);
+            RunResult result = sim.run();
+            if (r == 0 || result.total_seconds < best.total_seconds) {
+              best = std::move(result);
+            }
+          }
+          obs::BenchResult row;
+          row.deck = deck_name;
+          row.scheme = scheme_token(scheme);
+          row.layout = layout_token(layout);
+          row.particles = config.deck.n_particles;
+          row.timesteps = deck.n_timesteps;
+          row.events = best.counters.total_events();
+          row.seconds = best.total_seconds;
+          row.events_per_second = best.events_per_second();
+          row.checksum = best.tally_checksum;
+          row.population = best.population;
+          row.peak_mesh_bytes = best.peak_mesh_bytes;
+          row.peak_bank_bytes = best.peak_bank_bytes;
+          for (int p = 0; p < kNumPhases; ++p) {
+            const auto phase = static_cast<Phase>(p);
+            if (best.phases.visits[static_cast<std::size_t>(p)] == 0) {
+              continue;
+            }
+            obs::BenchPhase bench_phase;
+            bench_phase.phase = to_string(phase);
+            bench_phase.ns_per_event =
+                best.phases.cycles_per_visit(phase) / ghz;
+            bench_phase.fraction = best.phases.fraction(phase);
+            row.phases.push_back(std::move(bench_phase));
+          }
+          all_phases += best.phases;
+          doc.results.push_back(std::move(row));
+          table.add_row(
+              {deck_name, to_string(scheme), to_string(layout),
+               ResultTable::cell(
+                   static_cast<long>(config.deck.n_particles)),
+               ResultTable::cell(static_cast<unsigned long long>(
+                   best.counters.total_events())),
+               ResultTable::cell(best.events_per_second(), 3),
+               ResultTable::cell(best.total_seconds, 3),
+               ResultTable::cell_full(best.tally_checksum)});
+        }
+      }
+    }
+    table.print();
+    std::fputs(format_grind_table(all_phases, ghz).c_str(), stdout);
+
+    const std::string json = doc.to_json();
+    // Never commit a record the schema check would reject.
+    const std::vector<std::string> problems =
+        obs::validate_bench_record(json);
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "bench_transport: self-check: %s\n", p.c_str());
+    }
+    NEUTRAL_REQUIRE(problems.empty(),
+                    "generated record failed its own schema check");
+    std::ofstream out(out_path);
+    NEUTRAL_REQUIRE(out.good(), "cannot write '" + out_path + "'");
+    out << json;
+    NEUTRAL_REQUIRE(out.good(), "short write to '" + out_path + "'");
+    std::printf("wrote %s (%zu results, schema %s)\n", out_path.c_str(),
+                doc.results.size(), obs::kBenchTransportSchema);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_transport: %s\n", e.what());
+    return 2;
+  }
+}

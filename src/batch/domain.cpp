@@ -8,6 +8,7 @@
 #include "batch/shard.h"
 #include "core/init.h"
 #include "core/validation.h"
+#include "obs/trace.h"
 #include "runtime/timer.h"
 #include "util/error.h"
 
@@ -215,6 +216,17 @@ DomainRunReport run_domains(BatchEngine& engine, const SimulationConfig& base,
       }
     }
     ++report.rounds;
+    if (obs::TraceLog* trace = engine.options().trace; trace != nullptr) {
+      obs::TraceEvent event;
+      event.event = "round";
+      event.job_id = static_cast<std::uint64_t>(report.rounds);
+      event.group = opt.group;
+      event.run_wall_s = round.wall_seconds;
+      event.detail = std::to_string(active.size()) + " of " +
+                     std::to_string(n) + " partial solves " +
+                     (wake ? "woken" : "resumed");
+      trace->record(event);
+    }
     return true;
   };
 

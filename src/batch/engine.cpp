@@ -7,11 +7,93 @@
 #include <unordered_map>
 
 #include "batch/queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/host_info.h"
 #include "runtime/timer.h"
 #include "util/error.h"
 
 namespace neutral::batch {
+
+namespace {
+
+/// The engine-level series, resolved once per run() (registry lookups are
+/// name-keyed; the hot paths only ever touch the cached pointers).
+struct EngineMetrics {
+  obs::Counter* jobs_ok = nullptr;
+  obs::Counter* jobs_failed = nullptr;
+  obs::Counter* jobs_timed_out = nullptr;
+  obs::Counter* jobs_cancelled = nullptr;
+  obs::Histogram* job_wall = nullptr;
+  obs::Histogram* job_events_per_second = nullptr;
+  obs::Counter* ev_facets = nullptr;
+  obs::Counter* ev_collisions = nullptr;
+  obs::Counter* ev_censuses = nullptr;
+  obs::Counter* ev_rng_draws = nullptr;
+  obs::Counter* ev_xs_lookups = nullptr;
+  obs::Counter* ev_tally_flushes = nullptr;
+
+  explicit EngineMetrics(obs::MetricsRegistry* m) {
+    if (m == nullptr) return;
+    jobs_ok = &m->counter("neutral_jobs_ok_total", "jobs that completed");
+    jobs_failed =
+        &m->counter("neutral_jobs_failed_total",
+                    "jobs that failed (excluding timed-out/cancelled)");
+    jobs_timed_out = &m->counter("neutral_jobs_timed_out_total",
+                                 "jobs that hit a QueuePolicy deadline");
+    jobs_cancelled = &m->counter("neutral_jobs_cancelled_total",
+                                 "jobs cancelled unrun (sibling failed)");
+    job_wall = &m->histogram("neutral_job_wall_seconds",
+                             "per-job wall clock incl. world acquisition",
+                             {1e-3, 20});
+    job_events_per_second =
+        &m->histogram("neutral_job_events_per_second",
+                      "per-job transport throughput", {1e3, 24});
+    ev_facets = &m->counter("neutral_events_facets_total",
+                            "facet crossings across all jobs");
+    ev_collisions = &m->counter("neutral_events_collisions_total",
+                                "collisions across all jobs");
+    ev_censuses = &m->counter("neutral_events_censuses_total",
+                              "census events across all jobs");
+    ev_rng_draws =
+        &m->counter("neutral_events_rng_draws_total", "RNG draws");
+    ev_xs_lookups = &m->counter("neutral_events_xs_lookups_total",
+                                "cross-section lookups");
+    ev_tally_flushes = &m->counter("neutral_events_tally_flushes_total",
+                                   "tally deposit flushes");
+  }
+
+  void note(const JobOutcome& outcome) const {
+    if (jobs_ok == nullptr) return;
+    if (outcome.ok) {
+      jobs_ok->add();
+      job_wall->observe(outcome.seconds);
+      job_events_per_second->observe(outcome.result.events_per_second());
+      const EventCounters& c = outcome.result.counters;
+      ev_facets->add(c.facets);
+      ev_collisions->add(c.collisions);
+      ev_censuses->add(c.censuses);
+      ev_rng_draws->add(c.rng_draws);
+      ev_xs_lookups->add(c.xs_lookups);
+      ev_tally_flushes->add(c.tally_flushes);
+    } else if (outcome.cancelled) {
+      jobs_cancelled->add();
+    } else if (outcome.timed_out) {
+      jobs_timed_out->add();
+    } else {
+      jobs_failed->add();
+    }
+  }
+};
+
+const char* terminal_event(const JobOutcome& outcome) {
+  if (outcome.ok) return "completed";
+  if (outcome.cancelled) return "cancelled";
+  if (outcome.timed_out) return "timed_out";
+  return "failed";
+}
+
+}  // namespace
 
 std::size_t BatchReport::completed() const {
   std::size_t n = 0;
@@ -47,10 +129,31 @@ double BatchReport::events_per_second() const {
              : 0.0;
 }
 
+PhaseProfiler::Report BatchReport::phase_totals() const {
+  PhaseProfiler::Report total;
+  for (const JobOutcome& j : jobs) {
+    if (j.ok) total += j.result.phases;
+  }
+  return total;
+}
+
+namespace {
+
+/// An engine-level registry also observes the world cache unless the
+/// caller pointed the cache somewhere else explicitly.
+EngineOptions with_cache_metrics(EngineOptions options) {
+  if (options.metrics != nullptr && options.cache.metrics == nullptr) {
+    options.cache.metrics = options.metrics;
+  }
+  return options;
+}
+
+}  // namespace
+
 BatchEngine::BatchEngine(EngineOptions options)
-    : options_(options),
+    : options_(with_cache_metrics(options)),
       hw_concurrency_(probe_host().logical_cpus),
-      cache_(options.cache) {}
+      cache_(options_.cache) {}
 
 std::pair<std::int32_t, std::int32_t> BatchEngine::thread_budget(
     std::size_t n_jobs) const {
@@ -104,9 +207,15 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
     if (jobs[i].group != 0) ++group_remaining[jobs[i].group];
   }
 
-  JobQueue queue(queue_depth(workers), options_.policy);
+  JobQueue queue(queue_depth(workers), options_.policy, options_.metrics);
   std::mutex report_mutex;
   const WorldCache::Stats cache_before = cache_.stats();
+  const EngineMetrics metrics(options_.metrics);
+  obs::TraceLog* const trace = options_.trace;
+  // Written by the producer before each push, read by the worker that pops
+  // the job — the queue mutex orders the two, so no per-slot atomics.
+  std::vector<std::chrono::steady_clock::time_point> submitted_at(
+      jobs.size());
   WallTimer wall;
 
   // Record one outcome (and, for failures of a grouped job, the cancelled
@@ -117,6 +226,22 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
     std::lock_guard<std::mutex> lock(report_mutex);
     const std::size_t slot = slot_of.at(outcome.job_id);
     report.jobs[slot] = std::move(outcome);
+    const JobOutcome& done = report.jobs[slot];
+    metrics.note(done);
+    if (trace != nullptr) {
+      obs::TraceEvent event;
+      event.event = terminal_event(done);
+      event.job_id = done.job_id;
+      event.group = group_by_slot[slot];
+      event.label = done.label;
+      event.worker = done.worker;
+      if (done.worker >= 0) {
+        event.queue_wait_s = done.queue_wait_seconds;
+        event.run_wall_s = done.seconds;
+      }
+      event.detail = done.error;
+      trace->record(event);
+    }
     if (on_complete) on_complete(report.jobs[slot]);
     const std::uint64_t group = group_by_slot[slot];
     if (group != 0 && --group_remaining.at(group) == 0) {
@@ -142,6 +267,21 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       outcome.job_id = job->id;
       outcome.label = job->label;
       outcome.worker = worker_id;
+      outcome.queue_wait_seconds =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now() -
+              submitted_at[slot_of.at(job->id)])
+              .count();
+      if (trace != nullptr) {
+        obs::TraceEvent event;
+        event.event = "started";
+        event.job_id = job->id;
+        event.group = job->group;
+        event.label = job->label;
+        event.worker = worker_id;
+        event.queue_wait_s = outcome.queue_wait_seconds;
+        trace->record(event);
+      }
       WallTimer timer;
       if (std::chrono::steady_clock::now() > job->deadline) {
         // Expired while queued (max_queue_wait): completes as timed_out
@@ -161,6 +301,7 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
           } else {
             SimulationConfig config = job->config;
             if (config.threads <= 0) config.threads = threads_per_job;
+            if (options_.profile) config.profile = true;
             if (options_.policy.max_run_wall.count() > 0) {
               config.deadline = std::min(
                   config.deadline, std::chrono::steady_clock::now() +
@@ -233,8 +374,27 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       job.deadline =
           std::chrono::steady_clock::now() + options_.policy.max_queue_wait;
     }
+    if (trace != nullptr) {
+      obs::TraceEvent event;
+      event.event = "submitted";
+      event.job_id = id;
+      event.group = group;
+      event.label = label;
+      trace->record(event);
+    }
+    submitted_at[slot_of.at(id)] = std::chrono::steady_clock::now();
     const PushOutcome pushed = queue.push(std::move(job));
-    if (pushed == PushOutcome::kAccepted) continue;
+    if (pushed == PushOutcome::kAccepted) {
+      if (trace != nullptr) {
+        obs::TraceEvent event;
+        event.event = "queued";
+        event.job_id = id;
+        event.group = group;
+        event.label = label;
+        trace->record(event);
+      }
+      continue;
+    }
     if (queue.group_cancelled(group)) {
       record(cancelled_outcome(id, std::move(label), std::move(config),
                                "cancelled: submission refused, group " +

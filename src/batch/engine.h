@@ -32,6 +32,11 @@
 #include "batch/world_cache.h"
 #include "core/simulation.h"
 
+namespace neutral::obs {
+class MetricsRegistry;
+class TraceLog;
+}  // namespace neutral::obs
+
 namespace neutral::batch {
 
 struct EngineOptions {
@@ -58,6 +63,18 @@ struct EngineOptions {
   /// config's deadline into every subdomain round.  Zero = unbounded, the
   /// fork-join CLI default.
   QueuePolicy policy;
+  /// Optional registry: queue, cache, per-outcome and per-event series
+  /// land there (src/obs/metrics.h).  Also forwarded to cache.metrics when
+  /// that is unset.  Null = unobserved, no overhead beyond nullptr tests.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional JSONL lifecycle trace (submitted/queued/started/terminal
+  /// spans per job — src/obs/trace.h).  Null = no trace.
+  obs::TraceLog* trace = nullptr;
+  /// Enable the §VI-A PhaseProfiler in every config-driven job (stamped
+  /// onto SimulationConfig::profile), so BatchReport::phase_totals() can
+  /// print the grind-time table aggregated across the sweep.  Custom-work
+  /// jobs honour whatever their own configs say.
+  bool profile = false;
 };
 
 /// One finished (or failed) job.
@@ -67,6 +84,9 @@ struct JobOutcome {
   SimulationConfig config;     ///< as executed (threads budget filled in)
   RunResult result;            ///< default-constructed when !ok
   double seconds = 0.0;        ///< wall clock including world acquisition
+  /// Seconds between submission and a worker popping the job (0 when the
+  /// job never reached a worker).
+  double queue_wait_seconds = 0.0;
   bool world_cache_hit = false;
   std::int32_t worker = -1;    ///< which worker ran it (-1: never ran)
   bool ok = false;
@@ -99,6 +119,10 @@ struct BatchReport {
   /// node-throughput figure batching exists to maximise.
   [[nodiscard]] std::uint64_t total_events() const;
   [[nodiscard]] double events_per_second() const;
+  /// Sum of successful jobs' phase profiles — all-zero unless the engine
+  /// (or the jobs' own configs) enabled profiling.  Feed through
+  /// format_grind_table for the paper's §VI-A table over a whole sweep.
+  [[nodiscard]] PhaseProfiler::Report phase_totals() const;
 };
 
 class BatchEngine {

@@ -1,15 +1,65 @@
 #include "batch/queue.h"
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace neutral::batch {
 
-JobQueue::JobQueue(std::size_t capacity, QueuePolicy policy)
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity, QueuePolicy policy,
+                   obs::MetricsRegistry* metrics)
     : capacity_(capacity), policy_(policy) {
   NEUTRAL_REQUIRE(capacity > 0, "job queue capacity must be positive");
   NEUTRAL_REQUIRE(policy.max_queue_wait.count() >= 0 &&
                       policy.max_run_wall.count() >= 0,
                   "queue policy durations must be non-negative");
+  if (metrics != nullptr) {
+    depth_ = &metrics->gauge("neutral_queue_depth", "jobs currently queued");
+    push_wait_ = &metrics->histogram(
+        "neutral_queue_push_wait_seconds",
+        "seconds producers blocked waiting for queue space");
+    pop_wait_ = &metrics->histogram(
+        "neutral_queue_pop_wait_seconds",
+        "seconds workers blocked waiting for a job");
+    pushed_ = &metrics->counter("neutral_queue_pushed_total",
+                                "jobs accepted into the queue");
+    refused_ = &metrics->counter(
+        "neutral_queue_refused_total",
+        "pushes refused (queue closed or group cancelled)");
+    push_timed_out_ = &metrics->counter(
+        "neutral_queue_push_timed_out_total",
+        "pushes that timed out against a saturated queue");
+  }
+}
+
+void JobQueue::note_depth_locked() {
+  if (depth_ != nullptr) {
+    depth_->set(static_cast<std::int64_t>(heap_.size()));
+  }
+}
+
+void JobQueue::note_push_outcome(PushOutcome outcome, double wait_seconds) {
+  if (push_wait_ != nullptr) push_wait_->observe(wait_seconds);
+  switch (outcome) {
+    case PushOutcome::kAccepted:
+      if (pushed_ != nullptr) pushed_->add();
+      break;
+    case PushOutcome::kRefused:
+      if (refused_ != nullptr) refused_->add();
+      break;
+    case PushOutcome::kTimedOut:
+      if (push_timed_out_ != nullptr) push_timed_out_->add();
+      break;
+  }
 }
 
 PushOutcome JobQueue::push_locked(
@@ -37,6 +87,7 @@ PushOutcome JobQueue::push_locked(
                                 : PushOutcome::kRefused;
   }
   heap_.push(Entry{job.priority, next_sequence_++, std::move(job)});
+  note_depth_locked();
   not_empty_.notify_one();
   return PushOutcome::kAccepted;
 }
@@ -63,6 +114,7 @@ std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
         }
       }
       for (Entry& e : keep) heap_.push(std::move(e));
+      note_depth_locked();
     }
   }
   // Removing jobs frees capacity; a cancelled group also unblocks its own
@@ -88,47 +140,79 @@ std::size_t JobQueue::cancelled_group_count() const {
 }
 
 PushOutcome JobQueue::push(Job job) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (policy_.max_queue_wait.count() > 0) {
-    deadline = std::chrono::steady_clock::now() + policy_.max_queue_wait;
+  const auto start = std::chrono::steady_clock::now();
+  PushOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (policy_.max_queue_wait.count() > 0) {
+      deadline = start + policy_.max_queue_wait;
+    }
+    outcome = push_locked(std::move(job), lock, /*blocking=*/true, deadline);
   }
-  return push_locked(std::move(job), lock, /*blocking=*/true, deadline);
+  note_push_outcome(outcome, seconds_since(start));
+  return outcome;
 }
 
 PushOutcome JobQueue::push_until(
     Job job, std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return push_locked(std::move(job), lock, /*blocking=*/true, deadline);
+  const auto start = std::chrono::steady_clock::now();
+  PushOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    outcome = push_locked(std::move(job), lock, /*blocking=*/true, deadline);
+  }
+  note_push_outcome(outcome, seconds_since(start));
+  return outcome;
 }
 
 bool JobQueue::try_push(Job job) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return push_locked(std::move(job), lock, /*blocking=*/false,
-                     std::nullopt) == PushOutcome::kAccepted;
+  const auto start = std::chrono::steady_clock::now();
+  PushOutcome outcome;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    outcome = push_locked(std::move(job), lock, /*blocking=*/false,
+                          std::nullopt);
+  }
+  note_push_outcome(outcome, seconds_since(start));
+  return outcome == PushOutcome::kAccepted;
 }
 
 std::optional<Job> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
-  if (heap_.empty()) return std::nullopt;  // closed and drained
-  // priority_queue::top() is const; the move is safe because the entry is
-  // popped before anyone else can observe it.
-  Job job = std::move(const_cast<Entry&>(heap_.top()).job);
-  heap_.pop();
-  not_full_.notify_one();
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Job> job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return std::nullopt;  // closed and drained
+    // priority_queue::top() is const; the move is safe because the entry
+    // is popped before anyone else can observe it.
+    job = std::move(const_cast<Entry&>(heap_.top()).job);
+    heap_.pop();
+    note_depth_locked();
+    not_full_.notify_one();
+  }
+  if (pop_wait_ != nullptr) pop_wait_->observe(seconds_since(start));
   return job;
 }
 
 std::optional<Job> JobQueue::pop_until(
     std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait_until(lock, deadline,
-                        [&] { return closed_ || !heap_.empty(); });
-  if (heap_.empty()) return std::nullopt;  // closed, drained, or timed out
-  Job job = std::move(const_cast<Entry&>(heap_.top()).job);
-  heap_.pop();
-  not_full_.notify_one();
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Job> job;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) {
+      return std::nullopt;  // closed, drained, or timed out
+    }
+    job = std::move(const_cast<Entry&>(heap_.top()).job);
+    heap_.pop();
+    note_depth_locked();
+    not_full_.notify_one();
+  }
+  if (pop_wait_ != nullptr) pop_wait_->observe(seconds_since(start));
   return job;
 }
 

@@ -39,6 +39,13 @@
 
 #include "batch/job.h"
 
+namespace neutral::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace neutral::obs
+
 namespace neutral::batch {
 
 /// Deadline policy for long-lived queue/engine deployments.  Zero means
@@ -66,7 +73,10 @@ class JobQueue {
  public:
   /// `capacity` > 0: push() blocks while that many jobs are queued.
   /// `policy.max_queue_wait` > 0 bounds that blocking (see push()).
-  explicit JobQueue(std::size_t capacity, QueuePolicy policy = {});
+  /// A non-null `metrics` registers the queue's series there (depth gauge,
+  /// push/pop wait histograms, per-outcome counters); null costs nothing.
+  explicit JobQueue(std::size_t capacity, QueuePolicy policy = {},
+                    obs::MetricsRegistry* metrics = nullptr);
 
   /// Blocks while full — forever when policy.max_queue_wait is zero, else
   /// at most that long (returning kTimedOut, dropping `job`).  kRefused
@@ -131,6 +141,8 @@ class JobQueue {
   PushOutcome push_locked(
       Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
       std::optional<std::chrono::steady_clock::time_point> deadline);
+  void note_depth_locked();
+  void note_push_outcome(PushOutcome outcome, double wait_seconds);
 
   const std::size_t capacity_;
   const QueuePolicy policy_;
@@ -141,6 +153,15 @@ class JobQueue {
   std::unordered_set<std::uint64_t> cancelled_groups_;
   std::uint64_t next_sequence_ = 0;
   bool closed_ = false;
+
+  // Null when the queue is unobserved (the default); resolved once in the
+  // ctor so the hot paths never look anything up by name.
+  obs::Gauge* depth_ = nullptr;
+  obs::Histogram* push_wait_ = nullptr;
+  obs::Histogram* pop_wait_ = nullptr;
+  obs::Counter* pushed_ = nullptr;
+  obs::Counter* refused_ = nullptr;
+  obs::Counter* push_timed_out_ = nullptr;
 };
 
 }  // namespace neutral::batch

@@ -1,8 +1,35 @@
 #include "batch/world_cache.h"
 
+#include "obs/metrics.h"
+
 namespace neutral::batch {
 
-WorldCache::WorldCache(WorldCacheOptions options) : options_(options) {}
+WorldCache::WorldCache(WorldCacheOptions options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    hits_ = &m.counter("neutral_world_cache_hits_total",
+                       "world acquisitions served from the cache");
+    misses_ = &m.counter("neutral_world_cache_misses_total",
+                         "world acquisitions that built");
+    evictions_ = &m.counter("neutral_world_cache_evictions_total",
+                            "cached worlds dropped (failed builds + LRU)");
+    resident_bytes_gauge_ = &m.gauge("neutral_world_cache_resident_bytes",
+                                     "estimated bytes of cached worlds");
+    resident_worlds_gauge_ = &m.gauge("neutral_world_cache_resident_worlds",
+                                      "built worlds currently cached");
+  }
+}
+
+void WorldCache::note_residency_locked() {
+  if (resident_bytes_gauge_ == nullptr) return;
+  resident_bytes_gauge_->set(static_cast<std::int64_t>(resident_bytes_));
+  std::int64_t built = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry.built) ++built;
+  }
+  resident_worlds_gauge_->set(built);
+}
 
 std::shared_ptr<const World> WorldCache::acquire(const ProblemDeck& deck,
                                                  bool* hit) {
@@ -35,10 +62,12 @@ std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      if (hits_ != nullptr) hits_->add();
       it->second.last_use = ++tick_;
       future = it->second.future;
     } else {
       ++stats_.misses;
+      if (misses_ != nullptr) misses_->add();
       builder = true;
       future = promise.get_future().share();
       entries_.emplace(key, Entry{future, ++tick_, 0, false});
@@ -58,12 +87,15 @@ std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
         it->second.built = true;
         resident_bytes_ += bytes;
         evict_over_budget_locked(key);
+        note_residency_locked();
       }
     } catch (...) {
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mutex_);
       entries_.erase(key);
       ++stats_.evictions;
+      if (evictions_ != nullptr) evictions_->add();
+      note_residency_locked();
     }
   }
   return future.get();  // rethrows a failed build for every waiter
@@ -84,6 +116,7 @@ void WorldCache::evict_over_budget_locked(std::uint64_t protect) {
     resident_bytes_ -= victim->second.bytes;
     entries_.erase(victim);
     ++stats_.evictions;
+    if (evictions_ != nullptr) evictions_->add();
   }
 }
 
@@ -108,6 +141,7 @@ void WorldCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   resident_bytes_ = 0;
+  note_residency_locked();
 }
 
 }  // namespace neutral::batch

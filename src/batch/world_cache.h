@@ -31,11 +31,20 @@
 #include "core/deck.h"
 #include "core/world.h"
 
+namespace neutral::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace neutral::obs
+
 namespace neutral::batch {
 
 struct WorldCacheOptions {
   /// Resident-byte budget for cached worlds; 0 = unbounded.
   std::uint64_t max_bytes = 0;
+  /// Optional registry: the cache publishes hit/miss/eviction counters and
+  /// resident-bytes/worlds gauges there.  Null = unobserved.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class WorldCache {
@@ -100,6 +109,8 @@ class WorldCache {
   /// Drop LRU built entries until the budget holds; `protect` (the entry
   /// that just finished building) is never evicted.  Caller holds mutex_.
   void evict_over_budget_locked(std::uint64_t protect);
+  /// Refresh the resident gauges after any entries_ mutation (lock held).
+  void note_residency_locked();
 
   WorldCacheOptions options_;
   mutable std::mutex mutex_;
@@ -107,6 +118,13 @@ class WorldCache {
   std::uint64_t tick_ = 0;
   std::uint64_t resident_bytes_ = 0;
   Stats stats_;
+
+  // Resolved once in the ctor from options_.metrics; null = unobserved.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* resident_bytes_gauge_ = nullptr;
+  obs::Gauge* resident_worlds_gauge_ = nullptr;
 };
 
 }  // namespace neutral::batch

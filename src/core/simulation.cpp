@@ -333,6 +333,7 @@ RunResult Simulation::summary() const {
   if (config_.keep_tally_image) {
     r.tally = std::make_shared<const TallyImage>(tally_.image());
   }
+  if (profiler_ != nullptr) r.phases = profiler_->report();
   return r;
 }
 
@@ -345,6 +346,7 @@ RunResult& RunResult::operator+=(const RunResult& o) {
   tally_footprint_bytes += o.tally_footprint_bytes;
   peak_mesh_bytes = std::max(peak_mesh_bytes, o.peak_mesh_bytes);
   peak_bank_bytes = std::max(peak_bank_bytes, o.peak_bank_bytes);
+  phases += o.phases;
   if (steps.empty()) {
     steps = o.steps;
   } else if (!o.steps.empty()) {

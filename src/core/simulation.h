@@ -147,6 +147,10 @@ struct RunResult {
   /// Merged tally snapshot; only populated when the config asked for it
   /// (SimulationConfig::keep_tally_image) or by the shard reducer.
   std::shared_ptr<const TallyImage> tally;
+  /// §VI-A phase profile; all-zero unless the run profiled
+  /// (SimulationConfig::profile on a scheme with probes).  Extensive —
+  /// merging sums it, so sharded/domain runs report the whole solve.
+  PhaseProfiler::Report phases;
 
   /// Events per second — the throughput figure the harness reports.
   [[nodiscard]] double events_per_second() const {

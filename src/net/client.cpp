@@ -157,6 +157,8 @@ Fields NeutralClient::status(std::optional<std::uint64_t> id) {
   return call(request);
 }
 
+Fields NeutralClient::metrics() { return call(Fields{{"op", "metrics"}}); }
+
 void NeutralClient::cancel(std::uint64_t id) {
   (void)call(Fields{{"op", "cancel"}, {"id", std::to_string(id)}});
 }

@@ -85,6 +85,10 @@ class NeutralClient {
   /// Server-level or per-submission status fields, verbatim.
   Fields status(std::optional<std::uint64_t> id = std::nullopt);
 
+  /// Flat snapshot of the daemon's metrics registry (ok + one field per
+  /// series; histograms appear as name_count / name_sum).
+  Fields metrics();
+
   void cancel(std::uint64_t id);
 
   /// Ask the daemon to drain and exit.

@@ -8,6 +8,8 @@
 #include "batch/shard.h"
 #include "batch/sweep.h"
 #include "io/deck_io.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace neutral::net {
@@ -55,13 +57,29 @@ std::string outcome_status(const JobOutcome& outcome, bool cancel_requested) {
   return "failed";
 }
 
+/// Point the engine at the server's registry/trace.  The daemon always
+/// meters itself — the cost is nullptr-guarded counters, and `metrics` is
+/// how operators see a headless process at all.
+batch::EngineOptions instrumented(batch::EngineOptions engine,
+                                  obs::MetricsRegistry* metrics,
+                                  obs::TraceLog* trace) {
+  engine.metrics = metrics;
+  engine.trace = trace;
+  return engine;
+}
+
 }  // namespace
 
 NeutralServer::NeutralServer(ServerOptions options)
-    : options_(std::move(options)), engine_(options_.engine) {}
+    : options_(std::move(options)),
+      trace_(options_.trace_path.empty()
+                 ? nullptr
+                 : std::make_unique<obs::TraceLog>(options_.trace_path)),
+      engine_(instrumented(options_.engine, &metrics_, trace_.get())) {}
 
 NeutralServer::~NeutralServer() {
   request_shutdown();
+  if (exporter_ != nullptr) exporter_->stop();
   if (executor_.joinable()) executor_.join();
 }
 
@@ -70,6 +88,13 @@ std::uint16_t NeutralServer::start() {
   listener_ =
       std::make_unique<TcpListener>(options_.host, options_.port);
   port_ = listener_->port();
+  if (options_.metrics_port != 0) {
+    exporter_ = std::make_unique<obs::MetricsExporter>(
+        &metrics_, options_.host, options_.metrics_port);
+    metrics_port_ = exporter_->start();
+    log("metrics on http://" + options_.host + ":" +
+        std::to_string(metrics_port_) + "/metrics");
+  }
   executor_ = std::thread(&NeutralServer::executor_loop, this);
   return port_;
 }
@@ -132,6 +157,7 @@ void NeutralServer::serve() {
   cv_.wait(lock, [&] { return active_connections_ == 0; });
   lock.unlock();
   if (executor_.joinable()) executor_.join();
+  if (exporter_ != nullptr) exporter_->stop();
   log("neutrald stopped");
 }
 
@@ -205,6 +231,8 @@ bool NeutralServer::dispatch(TcpStream& stream, const Fields& request) {
       reply = handle_status(request);
     } else if (op == "cancel") {
       reply = handle_cancel(request);
+    } else if (op == "metrics") {
+      reply = handle_metrics();
     } else if (op == "shutdown") {
       reply = Fields{{"ok", "1"}};
       keep = false;
@@ -278,6 +306,11 @@ Fields NeutralServer::handle_submit(const Fields& request) {
     sub->id = next_id_++;
     submissions_.emplace(sub->id, sub);
     pending_.push_back(sub);
+    metrics_
+        .counter("neutral_submissions_total",
+                 "submissions accepted by the daemon")
+        .add();
+    note_submissions_locked();
   }
   cv_.notify_all();
   log("submit #" + std::to_string(sub->id) + " (" +
@@ -286,6 +319,26 @@ Fields NeutralServer::handle_submit(const Fields& request) {
   return Fields{{"ok", "1"},
                 {"id", std::to_string(sub->id)},
                 {"jobs", std::to_string(jobs)}};
+}
+
+Fields NeutralServer::handle_metrics() {
+  Fields reply{{"ok", "1"}};
+  for (const auto& [name, value] : metrics_.snapshot().flat()) {
+    reply.emplace(name, value);
+  }
+  return reply;
+}
+
+void NeutralServer::note_submissions_locked() {
+  std::size_t active = pending_.size();
+  for (const auto& [id, sub] : submissions_) {
+    (void)id;
+    active += sub->state == State::kRunning ? 1 : 0;
+  }
+  metrics_
+      .gauge("neutral_submissions_pending",
+             "submissions queued or running")
+      .set(static_cast<std::int64_t>(active));
 }
 
 Fields NeutralServer::handle_status(const Fields& request) {
@@ -486,6 +539,7 @@ void NeutralServer::executor_loop() {
         sub->error = stopping_ ? "server shutting down"
                                : "cancelled before it started";
         evict_done_locked();
+        note_submissions_locked();
         cv_.notify_all();
         continue;
       }
@@ -497,6 +551,7 @@ void NeutralServer::executor_loop() {
       std::lock_guard<std::mutex> lock(mutex_);
       sub->state = State::kDone;
       evict_done_locked();
+      note_submissions_locked();
     }
     cv_.notify_all();
     log("done #" + std::to_string(sub->id) + " (" + sub->status + ")");

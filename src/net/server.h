@@ -61,6 +61,12 @@
 #include "batch/engine.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace neutral::obs {
+class TraceLog;
+class MetricsExporter;
+}  // namespace neutral::obs
 
 namespace neutral::net {
 
@@ -81,6 +87,14 @@ struct ServerOptions {
   std::size_t max_retained_results = 256;
   /// Per-request log lines on stdout.
   bool verbose = false;
+  /// When non-zero, start() also binds a plain-HTTP Prometheus
+  /// text-exposition listener on (host, metrics_port) serving GET /metrics
+  /// from the server's registry.  0 = no exporter (the `metrics` frame op
+  /// still works).
+  std::uint16_t metrics_port = 0;
+  /// When non-empty, open a JSONL TraceLog there and record every job's
+  /// lifecycle spans (src/obs/trace.h).
+  std::string trace_path;
 };
 
 /// One finished row of a submission — one sweep job (plain), one reduced
@@ -117,6 +131,11 @@ class NeutralServer {
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] batch::BatchEngine& engine() { return engine_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
+  /// The daemon-lifetime registry every layer publishes into.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Bound Prometheus port (0 when no exporter was requested).  Valid
+  /// after start().
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
 
  private:
   enum class State : std::uint8_t { kQueued, kRunning, kDone };
@@ -160,6 +179,9 @@ class NeutralServer {
   Fields handle_submit(const Fields& request);
   Fields handle_status(const Fields& request);
   Fields handle_cancel(const Fields& request);
+  Fields handle_metrics();
+  /// Refresh the submission gauges after any state change (lock held).
+  void note_submissions_locked();
   /// `result` / `watch`: optionally stream events, then the result header
   /// and row frames.  Returns false when the connection must close.
   bool send_result(TcpStream& stream, const Fields& request,
@@ -168,9 +190,16 @@ class NeutralServer {
   void log(const std::string& line);
 
   ServerOptions options_;
+  // Observability state precedes engine_: the ctor patches the engine
+  // options with pointers into these members, so they must already exist
+  // when engine_ constructs.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::TraceLog> trace_;
   batch::BatchEngine engine_;
   std::uint16_t port_ = 0;
   std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
+  std::uint16_t metrics_port_ = 0;
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,0 +1,105 @@
+#include "obs/exporter.h"
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace neutral::obs {
+
+namespace {
+
+constexpr std::chrono::milliseconds kAcceptPoll{200};
+constexpr std::chrono::milliseconds kIoTimeout{2000};
+constexpr std::size_t kMaxRequestLine = 8192;
+
+std::string http_response(const std::string& status,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + status + "\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(const MetricsRegistry* registry,
+                                 std::string host, std::uint16_t port)
+    : registry_(registry), host_(std::move(host)), requested_port_(port) {
+  NEUTRAL_REQUIRE(registry != nullptr, "exporter needs a registry");
+}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+std::uint16_t MetricsExporter::start() {
+  NEUTRAL_REQUIRE(!thread_.joinable(), "exporter already started");
+  listener_ = std::make_unique<net::TcpListener>(host_, requested_port_);
+  bound_port_ = listener_->port();
+  stopping_.store(false);
+  thread_ = std::thread([this] { serve_loop(); });
+  return bound_port_;
+}
+
+void MetricsExporter::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+void MetricsExporter::serve_loop() {
+  while (!stopping_.load()) {
+    std::optional<net::TcpStream> stream;
+    try {
+      stream = listener_->accept(kAcceptPoll);
+    } catch (const std::exception&) {
+      // Listener torn down underneath us (shutdown race) — exit quietly.
+      return;
+    }
+    if (!stream.has_value()) continue;
+    try {
+      handle_connection(std::move(*stream));
+    } catch (const std::exception&) {
+      // A broken scraper connection must not take the exporter down.
+    }
+  }
+}
+
+void MetricsExporter::handle_connection(net::TcpStream stream) {
+  stream.set_read_timeout(kIoTimeout);
+  stream.set_write_timeout(kIoTimeout);
+  std::string request_line;
+  if (stream.read_line(request_line, kMaxRequestLine) !=
+      net::ReadStatus::kLine) {
+    return;
+  }
+  // Drain the header block so well-behaved clients see a clean exchange.
+  std::string header;
+  while (stream.read_line(header, kMaxRequestLine) == net::ReadStatus::kLine &&
+         !header.empty()) {
+  }
+  // "GET <path> HTTP/1.x"
+  const std::size_t first_space = request_line.find(' ');
+  const std::size_t second_space =
+      first_space == std::string::npos
+          ? std::string::npos
+          : request_line.find(' ', first_space + 1);
+  const std::string method = request_line.substr(0, first_space);
+  const std::string path =
+      first_space == std::string::npos
+          ? std::string()
+          : request_line.substr(first_space + 1,
+                                second_space - first_space - 1);
+  if (method != "GET") {
+    stream.write_all(http_response("405 Method Not Allowed",
+                                   "only GET is supported\n"));
+    return;
+  }
+  if (path != "/metrics" && path != "/") {
+    stream.write_all(http_response("404 Not Found", "try /metrics\n"));
+    return;
+  }
+  stream.write_all(
+      http_response("200 OK", registry_->snapshot().prometheus_text()));
+}
+
+}  // namespace neutral::obs

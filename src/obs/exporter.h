@@ -1,0 +1,53 @@
+// Plain-HTTP Prometheus text-exposition listener.
+//
+// One background thread, blocking accepts with a short timeout so stop()
+// never wedges, one request served at a time — a scrape every few seconds
+// from one Prometheus is the entire load profile, so there is no reason to
+// carry a real HTTP stack.  Speaks just enough HTTP/1.0 for `curl` and the
+// Prometheus scraper: GET /metrics -> 200 text/plain; version=0.0.4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace neutral::obs {
+
+class MetricsRegistry;
+
+class MetricsExporter {
+ public:
+  /// Binds lazily in start(); port 0 picks an ephemeral port.
+  MetricsExporter(const MetricsRegistry* registry, std::string host,
+                  std::uint16_t port);
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Bind + spawn the serving thread; returns the bound port.  Throws
+  /// neutral::Error when the address is unavailable.
+  std::uint16_t start();
+
+  /// Idempotent; joins the serving thread.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(net::TcpStream stream);
+
+  const MetricsRegistry* registry_;
+  std::string host_;
+  std::uint16_t requested_port_;
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace neutral::obs

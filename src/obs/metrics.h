@@ -1,0 +1,180 @@
+// Low-overhead process metrics: counters, gauges, log-bucket histograms.
+//
+// The serving stack (queue, engine, world cache, neutrald) needs liveness
+// numbers — queue depth, cache hit rate, per-outcome job counts — without
+// perturbing the transport loops it observes.  Hot-path increments touch a
+// per-thread cache-line-padded shard with a relaxed atomic add, so worker
+// threads never contend on a metrics line; reads (snapshots) sum the shards.
+//
+// Everything is registered by name in a MetricsRegistry, and a snapshot can
+// render either Prometheus text exposition (for the --metrics-port HTTP
+// listener) or a flat name->value map (for the neutrald `metrics` frame op).
+//
+// Instrumented code holds plain pointers that may be null — "no registry"
+// is the fast path and costs one predictable branch, mirroring the
+// PhaseProfiler contract in src/perf/profiler.h.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace neutral::obs {
+
+/// Number of padded shards per counter/histogram.  Power of two; threads
+/// hash onto shards round-robin, so up to 16 writers proceed without any
+/// shared line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// This thread's shard index (assigned round-robin on first use).
+std::size_t metric_shard() noexcept;
+
+/// Monotonic counter.  add() is wait-free and contention-free across up to
+/// kMetricShards concurrent writers; value() sums the shards (exact once
+/// writers quiesce, monotone under load).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[metric_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<Padded<std::atomic<std::uint64_t>>, kMetricShards> shards_{};
+};
+
+/// Instantaneous signed value (queue depth, resident bytes).  Gauges are
+/// updated under their owner's lock already, so one atomic suffices.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log-2-bucket histogram: bucket b spans up to first_bound * 2^b,
+/// plus a +Inf overflow bucket.  Same padded-shard scheme as Counter:
+/// observe() touches only this thread's shard.
+class Histogram {
+ public:
+  struct Options {
+    double first_bound = 1e-4;  ///< inclusive upper bound of bucket 0
+    int buckets = 22;           ///< finite buckets (bounds double each step)
+  };
+
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(Options options);
+
+  void observe(double v) noexcept {
+    const std::size_t shard = metric_shard();
+    std::atomic<std::uint64_t>* cells = &cells_[shard * stride_];
+    cells[0].fetch_add(1, std::memory_order_relaxed);
+    cells[1 + bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sums_[shard].value.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// Per-bucket counts, bounds().size() + 1 entries (last is +Inf).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::size_t bucket_of(double v) const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  ///< uint64 cells per shard, cache-line multiple
+  // Layout per shard: [count][bucket 0]...[bucket n (+Inf)], shards
+  // back-to-back in one aligned block so each starts on its own line.
+  aligned_vector<std::atomic<std::uint64_t>> cells_;
+  std::array<Padded<std::atomic<double>>, kMetricShards> sums_{};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One metric's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  struct Hist {
+    std::vector<double> bounds;          ///< finite upper bounds
+    std::vector<std::uint64_t> buckets;  ///< bounds.size()+1, last = +Inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  } histogram;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  ///< registration order
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE comments,
+  /// cumulative `le` buckets for histograms.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Flat name -> value rendering for the neutrald `metrics` frame op:
+  /// counters and gauges verbatim, histograms as name_count / name_sum.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> flat() const;
+
+  [[nodiscard]] const MetricValue* find(const std::string& name) const;
+};
+
+/// Named metric registry.  Lookup is idempotent — the first caller creates,
+/// later callers get the same instance — and returned references stay valid
+/// for the registry's lifetime (instruments cache them once, then write
+/// lock-free).  Asking for an existing name as a different type throws.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       Histogram::Options options = Histogram::Options());
+
+  /// Consistent-enough point-in-time read: each metric is internally
+  /// coherent (counters monotone, histogram count == sum of buckets is not
+  /// guaranteed under load, but every cell is a valid committed value —
+  /// never a torn word).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, const std::string& help,
+               MetricType type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace neutral::obs

@@ -1,6 +1,7 @@
 #include "perf/profiler.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "util/error.h"
 
@@ -27,6 +28,20 @@ std::uint64_t PhaseProfiler::Report::total_cycles() const {
   std::uint64_t t = 0;
   for (auto c : cycles) t += c;
   return t;
+}
+
+std::uint64_t PhaseProfiler::Report::total_visits() const {
+  std::uint64_t t = 0;
+  for (auto v : visits) t += v;
+  return t;
+}
+
+PhaseProfiler::Report& PhaseProfiler::Report::operator+=(const Report& o) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    cycles[static_cast<std::size_t>(p)] += o.cycles[static_cast<std::size_t>(p)];
+    visits[static_cast<std::size_t>(p)] += o.visits[static_cast<std::size_t>(p)];
+  }
+  return *this;
 }
 
 double PhaseProfiler::Report::fraction(Phase p) const {
@@ -56,6 +71,38 @@ PhaseProfiler::Report PhaseProfiler::report() const {
 
 void PhaseProfiler::reset() {
   for (auto& padded : slots_) padded.value = Slot{};
+}
+
+std::string format_grind_table(const PhaseProfiler::Report& report,
+                               double ghz) {
+  if (report.total_visits() == 0 || ghz <= 0.0) {
+    return "(no phase probes recorded — profile an over-particles run to "
+           "collect §VI-A grind times)\n";
+  }
+  std::string out = "\n== §VI-A phase profile ==\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "%-14s %12s %14s %10s\n", "phase",
+                "visits", "ns/visit", "share");
+  out += line;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    if (report.visits[static_cast<std::size_t>(p)] == 0) continue;
+    std::snprintf(line, sizeof line, "%-14s %12llu %14.1f %9.1f%%\n",
+                  to_string(phase),
+                  static_cast<unsigned long long>(
+                      report.visits[static_cast<std::size_t>(p)]),
+                  report.cycles_per_visit(phase) / ghz,
+                  100.0 * report.fraction(phase));
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "%-14s %12llu %14s %10s   (%.4f s profiled @ %.2f GHz)\n",
+                "total", static_cast<unsigned long long>(report.total_visits()),
+                "", "",
+                static_cast<double>(report.total_cycles()) / (ghz * 1.0e9),
+                ghz);
+  out += line;
+  return out;
 }
 
 double PhaseProfiler::tsc_ghz() {

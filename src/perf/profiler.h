@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -35,13 +36,24 @@ inline constexpr int kNumPhases = 6;
 
 const char* to_string(Phase p);
 
-/// Raw cycle counter.  Falls back to steady_clock nanoseconds on non-x86.
-inline std::uint64_t read_cycles() {
-#if defined(__x86_64__) || defined(_M_X64)
-  return __rdtsc();
-#else
+/// Portable cycle source: steady_clock ticks (nanoseconds on the platforms
+/// we build for).  Always compiled so non-x86 builds cannot rot unseen; the
+/// compile-only check forces `read_cycles()` through it on x86 too.
+inline std::uint64_t read_cycles_portable() {
   return static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+/// Raw cycle counter.  Falls back to `read_cycles_portable()` on non-x86
+/// (or when NEUTRAL_FORCE_PORTABLE_CYCLES is defined, for the compile-only
+/// fallback test — an OBJECT-library TU that is never linked, so the forced
+/// definition cannot ODR-clash with the rest of the build).
+inline std::uint64_t read_cycles() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    !defined(NEUTRAL_FORCE_PORTABLE_CYCLES)
+  return __rdtsc();
+#else
+  return read_cycles_portable();
 #endif
 }
 
@@ -57,15 +69,18 @@ class PhaseProfiler {
     slot.visits[static_cast<int>(phase)] += 1;
   }
 
-  /// Aggregated results across threads.
+  /// Aggregated results across threads.  Extensive: summing reports from
+  /// shard/domain partial solves yields the whole solve's profile.
   struct Report {
     std::array<std::uint64_t, kNumPhases> cycles{};
     std::array<std::uint64_t, kNumPhases> visits{};
     [[nodiscard]] std::uint64_t total_cycles() const;
+    [[nodiscard]] std::uint64_t total_visits() const;
     /// Fraction of profiled cycles spent in `p`.
     [[nodiscard]] double fraction(Phase p) const;
     /// Mean cycles per visit of `p` (0 when never visited).
     [[nodiscard]] double cycles_per_visit(Phase p) const;
+    Report& operator+=(const Report& o);
   };
   [[nodiscard]] Report report() const;
 
@@ -103,5 +118,14 @@ class ScopedPhase {
   Phase phase_;
   std::uint64_t start_;
 };
+
+/// The paper's §VI-A grind-time table: per-phase visits, ns/visit
+/// (cycles_per_visit / ghz) and share of profiled cycles.  `ghz` is usually
+/// PhaseProfiler::tsc_ghz().  Shared by `neutral --profile`, the batch
+/// sweep table and bench_transport so all three agree.  Returns a
+/// one-line note instead when the report holds no visits (profiling off,
+/// or a scheme without phase probes).
+std::string format_grind_table(const PhaseProfiler::Report& report,
+                               double ghz);
 
 }  // namespace neutral

@@ -1,0 +1,28 @@
+// Compile-only check for the non-x86 cycle-counter fallback.
+//
+// NEUTRAL_FORCE_PORTABLE_CYCLES is defined by CMake for this TU (and only
+// this TU), routing read_cycles() through read_cycles_portable() exactly as
+// a non-x86 build would.  The TU lives in an OBJECT library nothing links,
+// so the forced definition can never ODR-clash with the normally-compiled
+// read_cycles() elsewhere — building it IS the test: a missing <chrono> or
+// a signature drift in the fallback breaks the build instead of rotting
+// until someone targets POWER or ARM.
+#ifndef NEUTRAL_FORCE_PORTABLE_CYCLES
+#error "this TU must be compiled with NEUTRAL_FORCE_PORTABLE_CYCLES"
+#endif
+
+#include "perf/profiler.h"
+
+namespace neutral {
+
+std::uint64_t profiler_portable_compile_probe() {
+  // Exercise the full probe path the drivers use, through the forced
+  // portable branch.
+  PhaseProfiler profiler(1);
+  {
+    ScopedPhase probe(&profiler, 0, Phase::kCollision);
+  }
+  return read_cycles() + profiler.report().total_visits();
+}
+
+}  // namespace neutral

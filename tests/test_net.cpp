@@ -409,5 +409,49 @@ TEST(NetServer, SubmitRejectsBadDecksSpecsAndKnobs) {
   EXPECT_EQ(client.wait(client.submit(good)).status, "ok");
 }
 
+TEST(NetServer, MetricsOpReportsQueueCacheAndOutcomeSeries) {
+  TestServer server;
+  NeutralClient client = server.connect();
+
+  // Before any work: cache series register with the engine's cache at
+  // construction and read zero (queue/engine series appear on first run).
+  const auto field_u64 = [](const Fields& fields, const std::string& name) {
+    const auto it = fields.find(name);
+    EXPECT_NE(it, fields.end()) << "missing metric field " << name;
+    return it == fields.end() ? 0ull : std::stoull(it->second);
+  };
+  Fields before = client.metrics();
+  EXPECT_EQ(before.at("ok"), "1");
+  EXPECT_EQ(field_u64(before, "neutral_world_cache_misses_total"), 0u);
+
+  SubmitRequest request;
+  request.deck_text = format_deck(tiny_deck(200));
+  request.threads = 1;
+  ASSERT_EQ(client.wait(client.submit(request)).status, "ok");
+
+  // After a completed submission every layer has moved: submissions,
+  // queue, engine outcomes, per-event counters, world cache.
+  Fields after = client.metrics();
+  EXPECT_EQ(after.at("ok"), "1");
+  EXPECT_EQ(field_u64(after, "neutral_submissions_total"), 1u);
+  EXPECT_EQ(field_u64(after, "neutral_submissions_pending"), 0u);
+  EXPECT_EQ(field_u64(after, "neutral_jobs_ok_total"), 1u);
+  EXPECT_EQ(field_u64(after, "neutral_queue_pushed_total"), 1u);
+  EXPECT_EQ(field_u64(after, "neutral_queue_depth"), 0u);
+  EXPECT_EQ(field_u64(after, "neutral_job_wall_seconds_count"), 1u);
+  EXPECT_EQ(field_u64(after, "neutral_world_cache_misses_total"), 1u);
+  EXPECT_EQ(field_u64(after, "neutral_world_cache_resident_worlds"), 1u);
+  EXPECT_GT(field_u64(after, "neutral_events_collisions_total") +
+                field_u64(after, "neutral_events_facets_total") +
+                field_u64(after, "neutral_events_censuses_total"),
+            0u);
+
+  // A second identical submission hits the cache.
+  ASSERT_EQ(client.wait(client.submit(request)).status, "ok");
+  Fields cached = client.metrics();
+  EXPECT_EQ(field_u64(cached, "neutral_world_cache_hits_total"), 1u);
+  EXPECT_EQ(field_u64(cached, "neutral_jobs_ok_total"), 2u);
+}
+
 }  // namespace
 }  // namespace neutral
