@@ -43,6 +43,14 @@ void print_report(const SimulationConfig& cfg, const RunResult& r) {
               to_string(cfg.scheme), to_string(cfg.layout),
               to_string(cfg.tally_mode), to_string(cfg.lookup),
               cfg.schedule.name().c_str());
+  if (cfg.rng_batch || cfg.branchless_events || cfg.over_events.sort_events ||
+      cfg.tally_direct) {
+    std::printf("optimisations  :%s%s%s%s\n",
+                cfg.rng_batch ? " rng-batch" : "",
+                cfg.branchless_events ? " branchless-events" : "",
+                cfg.over_events.sort_events ? " sort-events" : "",
+                cfg.tally_direct ? " tally-direct" : "");
+  }
   std::printf("wallclock      : %.4f s   (%.3g events/s)\n", r.total_seconds,
               r.events_per_second());
   std::printf("events         : %llu facets (%llu reflections), %llu "
@@ -108,10 +116,24 @@ int main(int argc, char** argv) {
     config.layout = layout_from_string(cli.option("layout", "aos", "aos|soa (§VI-D)"));
     config.tally_mode = tally_mode_from_string(cli.option(
         "tally", "atomic", "atomic|privatized|merge-step|deferred (§VI-F/G)"));
-    config.lookup = lookup_from_string(
-        cli.option("lookup", "cached", "binary|cached|bucketed (§VI-A)"));
+    config.lookup = lookup_from_string(cli.option(
+        "lookup", "cached", "binary|cached|bucketed|unionised (§VI-A)"));
     config.schedule = schedule_from_string(
         cli.option("schedule", "static", "static|dynamic|guided[,chunk] (§VI-C)"));
+    config.rng_batch = cli.flag(
+        "rng-batch",
+        "batch RNG draws 4 counters per cipher call (bit-identical draws)");
+    config.branchless_events = cli.flag(
+        "branchless-events",
+        "select-based event search/facet math (bit-identical arithmetic)");
+    config.over_events.sort_events = cli.flag(
+        "sort-events",
+        "sort pending events between over-events kernels so each handler "
+        "runs a dense homogeneous list (over-events scheme only)");
+    config.tally_direct = cli.flag(
+        "tally-direct",
+        "non-atomic tally deposits when running on one thread "
+        "(bit-identical; ignored at threads > 1)");
     config.threads =
         static_cast<std::int32_t>(cli.option_int("threads", 0, "OpenMP threads (0 = default)"));
     config.profile = cli.flag("profile", "enable the §VI-A phase profiler");

@@ -194,6 +194,18 @@ SweepSpec parse_sweep(const std::string& text) {
       need(1);
       spec.base.threads =
           static_cast<std::int32_t>(parse_int(args[0], line_no));
+    } else if (key == "rng_batch") {
+      need(1);
+      spec.base.rng_batch = parse_int(args[0], line_no) != 0;
+    } else if (key == "branchless_events") {
+      need(1);
+      spec.base.branchless_events = parse_int(args[0], line_no) != 0;
+    } else if (key == "sort_events") {
+      need(1);
+      spec.base.over_events.sort_events = parse_int(args[0], line_no) != 0;
+    } else if (key == "tally_direct") {
+      need(1);
+      spec.base.tally_direct = parse_int(args[0], line_no) != 0;
     } else if (key == "timesteps") {
       need(1);
       timesteps = parse_int(args[0], line_no);

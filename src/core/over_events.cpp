@@ -37,12 +37,14 @@ void OverEventsWorkspace::resize(std::size_t n_particles) {
   facet_axis_.resize(n_particles);
   facet_step_.resize(n_particles);
   facet_boundary_.resize(n_particles);
+  event_order_.resize(n_particles);
+  candidate_.resize(n_particles);
 }
 
 std::uint64_t OverEventsWorkspace::footprint_bytes() const {
   const std::size_t n = size();
   return n * (8 * sizeof(double) + sizeof(std::int64_t) + 3 + 2 +
-              sizeof(double));
+              sizeof(double) + 2 * sizeof(std::int32_t));
 }
 
 namespace {
@@ -134,6 +136,25 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
       static_cast<std::size_t>(max_threads));
   NoHooks hooks;
 
+  // Event-sorted traversal: run a handler over a dense slice of
+  // ws.event_order_ instead of masking across the whole population.
+  // Indices ascend within each slice, so per-thread execution order
+  // matches the masked sweep's.
+  const auto segment_foreach = [&](std::size_t begin, std::size_t count,
+                                   auto&& body) {
+#pragma omp parallel
+    {
+      const std::int32_t t = omp_get_thread_num();
+      EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+#pragma omp for schedule(static)
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(count); ++k) {
+        body(static_cast<std::int64_t>(
+                 ws.event_order_[begin + static_cast<std::size_t>(k)]),
+             ec, t);
+      }
+    }
+  };
+
   // Wake survivors and (re)build their streamed flight state.  Resume
   // rounds (wake_census false — domain decomposition) leave census
   // residents parked and re-stream only the already-alive immigrants.
@@ -157,28 +178,236 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     }
   }
 
+  // Kernel bodies shared by the masked and sorted traversals.
+
+  // Kernel 1: event search — compute times-to-event, select, move.
+  auto search = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (v.state(u) != ParticleState::kAlive) {
+      ws.next_event_[u] = kNoEvent;
+      return;
+    }
+    FlightState fs = load_fs<View>(ws, u);
+    const EventSelection sel = select_and_move(v, u, ctx, fs, ec, hooks);
+    ws.next_event_[u] = static_cast<std::uint8_t>(sel.event);
+    ws.facet_distance_[u] = sel.facet.distance;
+    ws.facet_axis_[u] = sel.facet.axis;
+    ws.facet_step_[u] = sel.facet.step;
+    ws.facet_boundary_[u] = sel.facet.at_boundary ? 1 : 0;
+    store_fs(ws, u, fs);
+  };
+
+  // Kernel 2: collisions.
+  auto collide = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCollision)) {
+      return;
+    }
+    FlightState fs = load_fs<View>(ws, u);
+    handle_collision(v, u, ctx, fs, ec, t, hooks);
+    store_fs(ws, u, fs);
+  };
+
+  // Kernel 3: facets.
+  auto cross = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kFacet)) {
+      return;
+    }
+    FlightState fs = load_fs<View>(ws, u);
+    FacetIntersection facet;
+    facet.distance = ws.facet_distance_[u];
+    facet.axis = ws.facet_axis_[u];
+    facet.step = ws.facet_step_[u];
+    facet.at_boundary = ws.facet_boundary_[u] != 0;
+    handle_facet(v, u, ctx, facet, fs, ec, t, hooks);
+    store_fs(ws, u, fs);
+  };
+
+  // Kernel 4: census.
+  auto census = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCensus)) {
+      return;
+    }
+    FlightState fs = load_fs<View>(ws, u);
+    handle_census(v, u, ctx, fs, ec, t, hooks);
+    store_fs(ws, u, fs);
+  };
+
+  // Sorted-mode kernel variants.  The dense segments make the per-particle
+  // event-kind recheck redundant, and two kernels touch only a slice of
+  // the streamed flight state: the event search reads speed/sigma_t/
+  // sigma_a and mutates only the deposit register, census only flushes —
+  // so they load and store exactly those fields instead of round-tripping
+  // all eight.  Untouched fields keep their stored values, and the fields
+  // that are read carry the same bits, so the arithmetic is unchanged.
+  auto search_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
+    const auto u = static_cast<std::size_t>(i);
+    if (v.state(u) != ParticleState::kAlive) {
+      ws.next_event_[u] = kNoEvent;
+      return;
+    }
+    FlightState fs;
+    fs.speed = ws.speed_[u];
+    fs.sigma_a = ws.sigma_a_[u];
+    fs.sigma_t = ws.sigma_t_[u];
+    fs.pending_deposit = ws.pending_[u];
+    const EventSelection sel = select_and_move(v, u, ctx, fs, ec, hooks);
+    ws.next_event_[u] = static_cast<std::uint8_t>(sel.event);
+    ws.facet_distance_[u] = sel.facet.distance;
+    ws.facet_axis_[u] = sel.facet.axis;
+    ws.facet_step_[u] = sel.facet.step;
+    ws.facet_boundary_[u] = sel.facet.at_boundary ? 1 : 0;
+    ws.pending_[u] = fs.pending_deposit;
+  };
+
+  auto collide_sorted = [&](std::int64_t i, EventCounters& ec,
+                            std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    FlightState fs = load_fs<View>(ws, u);
+    handle_collision(v, u, ctx, fs, ec, t, hooks);
+    store_fs(ws, u, fs);
+  };
+
+  auto cross_sorted = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    FlightState fs = load_fs<View>(ws, u);
+    FacetIntersection facet;
+    facet.distance = ws.facet_distance_[u];
+    facet.axis = ws.facet_axis_[u];
+    facet.step = ws.facet_step_[u];
+    facet.at_boundary = ws.facet_boundary_[u] != 0;
+    handle_facet(v, u, ctx, facet, fs, ec, t, hooks);
+    store_fs(ws, u, fs);
+  };
+
+  auto census_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+    const auto u = static_cast<std::size_t>(i);
+    FlightState fs;
+    fs.pending_deposit = ws.pending_[u];
+    fs.flat_cell = ws.flat_cell_[u];
+    handle_census(v, u, ctx, fs, ec, t, hooks);
+    ws.pending_[u] = fs.pending_deposit;
+  };
+
+  if (opt.sort_events) {
+    // Sorted + compacted traversal.  A live-candidate list — initially the
+    // alive particles, thereafter the merge of the previous round's
+    // collision and facet segments — replaces every full-population scan:
+    // search, the counting sort, and the handler kernels all touch only
+    // particles that can still do work.  Census, death and migration drop
+    // a particle from the list permanently, so late rounds cost O(alive),
+    // not O(bank).  The candidate list stays ascending (the two merged
+    // segments are each ascending), so every alive particle is visited in
+    // exactly the order the masked sweeps would use — the bit-identity
+    // contract holds by construction.
+    std::size_t n_cand = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (v.state(static_cast<std::size_t>(i)) == ParticleState::kAlive) {
+        ws.candidate_[n_cand++] = static_cast<std::int32_t>(i);
+      }
+    }
+    constexpr auto kColl = static_cast<std::uint8_t>(EventType::kCollision);
+    constexpr auto kFacet = static_cast<std::uint8_t>(EventType::kFacet);
+    constexpr auto kCensus = static_cast<std::uint8_t>(EventType::kCensus);
+    while (n_cand != 0) {
+      WallTimer timer;
+#pragma omp parallel
+      {
+        const std::int32_t t = omp_get_thread_num();
+        EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+#pragma omp for schedule(static)
+        for (std::int64_t k = 0; k < static_cast<std::int64_t>(n_cand); ++k) {
+          search_slim(static_cast<std::int64_t>(
+                          ws.candidate_[static_cast<std::size_t>(k)]),
+                      ec, t);
+        }
+      }
+
+      // Counting sort over the candidates: group the pending indices
+      // [collisions | facets | censuses].  Stable (candidates ascend), so
+      // the handler order at one thread — and with it the golden checksum —
+      // is identical to the masked sweeps'.  Charged to the search phase.
+      std::size_t n_coll = 0;
+      std::size_t n_facet = 0;
+      std::size_t n_census = 0;
+      for (std::size_t k = 0; k < n_cand; ++k) {
+        const std::uint8_t e =
+            ws.next_event_[static_cast<std::size_t>(ws.candidate_[k])];
+        n_coll += e == kColl;
+        n_facet += e == kFacet;
+        n_census += e == kCensus;
+      }
+      std::size_t at_coll = 0;
+      std::size_t at_facet = n_coll;
+      std::size_t at_census = n_coll + n_facet;
+      for (std::size_t k = 0; k < n_cand; ++k) {
+        const std::int32_t i = ws.candidate_[k];
+        const std::uint8_t e = ws.next_event_[static_cast<std::size_t>(i)];
+        if (e == kColl) {
+          ws.event_order_[at_coll++] = i;
+        } else if (e == kFacet) {
+          ws.event_order_[at_facet++] = i;
+        } else if (e == kCensus) {
+          ws.event_order_[at_census++] = i;
+        }
+      }
+      if (times != nullptr) {
+        times->event_search += timer.seconds();
+        ++times->iterations;
+      }
+      if (n_coll + n_facet + n_census == 0) break;
+
+      timer.restart();
+      segment_foreach(0, n_coll, collide_sorted);
+      if (times != nullptr) times->collisions += timer.seconds();
+
+      timer.restart();
+      segment_foreach(n_coll, n_facet, cross_sorted);
+      if (times != nullptr) times->facets += timer.seconds();
+
+      timer.restart();
+      segment_foreach(n_coll + n_facet, n_census, census_slim);
+      if (times != nullptr) times->census += timer.seconds();
+
+      timer.restart();
+      ctx.tally->drain_deferred();
+      if (times != nullptr) times->tally += timer.seconds();
+
+      // Next round's candidates: merge the two ascending segments that can
+      // still be alive.  Particles that died or migrated inside a handler
+      // stay in the list one extra round — the search early-out retires
+      // them (kNoEvent) and the sort then drops them for good.
+      std::size_t a = 0;
+      std::size_t b = n_coll;
+      const std::size_t b_end = n_coll + n_facet;
+      std::size_t out = 0;
+      while (a < n_coll && b < b_end) {
+        const std::int32_t ia = ws.event_order_[a];
+        const std::int32_t ib = ws.event_order_[b];
+        if (ia < ib) {
+          ws.candidate_[out++] = ia;
+          ++a;
+        } else {
+          ws.candidate_[out++] = ib;
+          ++b;
+        }
+      }
+      while (a < n_coll) ws.candidate_[out++] = ws.event_order_[a++];
+      while (b < b_end) ws.candidate_[out++] = ws.event_order_[b++];
+      n_cand = out;
+    }
+    EventCounters total;
+    for (const auto& tc : counters) total += tc.value;
+    return total;
+  }
+
   // Breadth-first main loop: one iteration advances the whole population by
   // a single event (Listing 2).
   for (;;) {
     WallTimer timer;
     std::int64_t in_flight = 0;
-
-    // Kernel 1: event search — compute times-to-event, select, move.
-    auto search = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
-      const auto u = static_cast<std::size_t>(i);
-      if (v.state(u) != ParticleState::kAlive) {
-        ws.next_event_[u] = kNoEvent;
-        return;
-      }
-      FlightState fs = load_fs<View>(ws, u);
-      const EventSelection sel = select_and_move(v, u, ctx, fs, ec, hooks);
-      ws.next_event_[u] = static_cast<std::uint8_t>(sel.event);
-      ws.facet_distance_[u] = sel.facet.distance;
-      ws.facet_axis_[u] = sel.facet.axis;
-      ws.facet_step_[u] = sel.facet.step;
-      ws.facet_boundary_[u] = sel.facet.at_boundary ? 1 : 0;
-      store_fs(ws, u, fs);
-    };
 #pragma omp parallel for schedule(static) reduction(+ : in_flight)
     for (std::int64_t i = 0; i < n; ++i) {
       in_flight += (v.state(static_cast<std::size_t>(i)) ==
@@ -197,18 +426,7 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
       ++times->iterations;
     }
 
-    // Kernel 2: collisions.
     timer.restart();
-    auto collide = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
-      const auto u = static_cast<std::size_t>(i);
-      if (ws.next_event_[u] !=
-          static_cast<std::uint8_t>(EventType::kCollision)) {
-        return;
-      }
-      FlightState fs = load_fs<View>(ws, u);
-      handle_collision(v, u, ctx, fs, ec, t, hooks);
-      store_fs(ws, u, fs);
-    };
     if (opt.simd_collisions) {
       masked_foreach<true>(n, counters, collide);
     } else {
@@ -216,22 +434,7 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     }
     if (times != nullptr) times->collisions += timer.seconds();
 
-    // Kernel 3: facets.
     timer.restart();
-    auto cross = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
-      const auto u = static_cast<std::size_t>(i);
-      if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kFacet)) {
-        return;
-      }
-      FlightState fs = load_fs<View>(ws, u);
-      FacetIntersection facet;
-      facet.distance = ws.facet_distance_[u];
-      facet.axis = ws.facet_axis_[u];
-      facet.step = ws.facet_step_[u];
-      facet.at_boundary = ws.facet_boundary_[u] != 0;
-      handle_facet(v, u, ctx, facet, fs, ec, t, hooks);
-      store_fs(ws, u, fs);
-    };
     if (opt.simd_facets) {
       masked_foreach<true>(n, counters, cross);
     } else {
@@ -239,17 +442,7 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     }
     if (times != nullptr) times->facets += timer.seconds();
 
-    // Kernel 4: census.
     timer.restart();
-    auto census = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
-      const auto u = static_cast<std::size_t>(i);
-      if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCensus)) {
-        return;
-      }
-      FlightState fs = load_fs<View>(ws, u);
-      handle_census(v, u, ctx, fs, ec, t, hooks);
-      store_fs(ws, u, fs);
-    };
     masked_foreach<false>(n, counters, census);
     if (times != nullptr) times->census += timer.seconds();
 

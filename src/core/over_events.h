@@ -35,6 +35,18 @@ struct OverEventsOptions {
   bool simd_facets = true;
   /// §VI-A phase accounting via per-kernel wall timers.
   bool record_kernel_times = true;
+  /// Sort the pending-event index lists between the search and handler
+  /// kernels (counting sort, stable in particle index): each handler then
+  /// runs over a dense, homogeneous list instead of masking its way across
+  /// the whole population — the event-sorting optimisation the MC/DC line
+  /// of work attributes most of its throughput win to.  The sorted
+  /// traversal also compacts: a live-candidate list carried between rounds
+  /// means search, sort and handlers all skip particles that already hit
+  /// census or died, so per-round cost tracks the surviving population
+  /// instead of the full bank.  Handler execution order at one thread is
+  /// identical to the masked sweeps' (ascending index), so checksums are
+  /// bit-identical; default off to preserve the seed traversal.
+  bool sort_events = false;
   /// Flip kCensus particles to kAlive (with a fresh dt) in the wake-up
   /// prologue — the start of a timestep.  Domain-decomposition resume
   /// rounds set this false so only freshly injected mid-flight immigrants
@@ -84,6 +96,16 @@ class OverEventsWorkspace {
   aligned_vector<double> facet_distance_;
   aligned_vector<std::int8_t> facet_axis_, facet_step_;
   aligned_vector<std::uint8_t> facet_boundary_;
+  // Event-sorted traversal (OverEventsOptions::sort_events): particle
+  // indices grouped [collisions | facets | censuses], ascending within
+  // each group, rebuilt after every search kernel.
+  aligned_vector<std::int32_t> event_order_;
+  // Compacted live-candidate list for the sorted traversal: the merge of
+  // the previous round's collision and facet segments (ascending), i.e.
+  // every particle that could still be alive this round.  Census, death
+  // and migration drop a particle out of the list permanently, so late
+  // rounds touch only the surviving tail instead of the whole population.
+  aligned_vector<std::int32_t> candidate_;
 };
 
 inline constexpr std::uint8_t kNoEvent = 255;

@@ -14,8 +14,18 @@ namespace {
 /// is the OpenMP loop; schedule(runtime) lets the Fig 4 experiment flip the
 /// scheduling clause without recompiling.
 template <class View, class Hooks, class MakeHooks>
-EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
+EventCounters drive(const View& v, const TransportContext& ctx_in, double dt_s,
                     const OverParticlesOptions& opt, MakeHooks make_hooks) {
+  // Branch-light event selection exists to kill the mispredicts of
+  // breadth-first sweeps, where consecutive loop iterations are unrelated
+  // particles.  Here the per-history loop keeps one particle's direction
+  // and state in registers, the same branches repeat until the next
+  // collision or reflection and predict almost perfectly, and the select
+  // chains would only add dependency latency.  Both forms produce
+  // bit-identical results (facet.h), so scope the option to the Over
+  // Events kernels and run the branchy form unconditionally here.
+  TransportContext ctx = ctx_in;
+  ctx.branchless_events = false;
   apply_schedule(opt.schedule);
   const auto n = static_cast<std::int64_t>(v.size());
   const std::int32_t max_threads = omp_get_max_threads();

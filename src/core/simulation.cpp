@@ -51,7 +51,10 @@ XsLookup lookup_from_string(const std::string& s) {
   if (s == "binary") return XsLookup::kBinarySearch;
   if (s == "cached") return XsLookup::kCachedLinear;
   if (s == "bucketed") return XsLookup::kBucketedIndex;
-  throw Error("unknown lookup '" + s + "' (binary|cached|bucketed)");
+  if (s == "unionised" || s == "unionized" || s == "union") {
+    return XsLookup::kUnionised;
+  }
+  throw Error("unknown lookup '" + s + "' (binary|cached|bucketed|unionised)");
 }
 
 SchedulePolicy schedule_from_string(const std::string& s) {
@@ -102,7 +105,8 @@ Simulation::Simulation(SimulationConfig config,
       tally_(window_.num_cells(),
              config_.tally_mode,
              config_.threads > 0 ? config_.threads : omp_get_max_threads(),
-             config_.compensated_tally),
+             config_.compensated_tally,
+             config_.tally_direct),
       bank_(config_.layout) {
   NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
   NEUTRAL_REQUIRE(span_.first_id >= 0 && span_.count > 0 &&
@@ -133,6 +137,9 @@ Simulation::Simulation(SimulationConfig config,
   ctx_.xs_scatter = &world_->xs_scatter;
   ctx_.tally = &tally_;
   ctx_.lookup = config_.lookup;
+  ctx_.xs_union = &world_->xs_union;
+  ctx_.rng_batch = config_.rng_batch;
+  ctx_.branchless_events = config_.branchless_events;
   ctx_.molar_mass_g_mol = config_.deck.molar_mass_g_mol;
   ctx_.mass_number = config_.deck.mass_number;
   ctx_.min_energy_ev = config_.deck.min_energy_ev;

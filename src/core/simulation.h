@@ -86,6 +86,19 @@ struct SimulationConfig {
   /// Enable §VI-A phase profiling (Over Particles only).
   bool profile = false;
   OverEventsOptions over_events;
+  /// Batched RNG draws in the collision handler (rng::BatchedStream): the
+  /// identical draw sequence computed 4 counters per interleaved cipher
+  /// call, so checksums cannot move.  Off by default (seed behaviour).
+  bool rng_batch = false;
+  /// Select-based (branch-light) event search and facet math: identical
+  /// floating-point arithmetic with the per-particle direction/event
+  /// branches turned into conditional moves.  Off by default.
+  bool branchless_events = false;
+  /// Single-thread tally fast path: plain (non-atomic) deposits when the
+  /// run uses exactly one thread — same deposits, same per-cell order, so
+  /// bit-identical; ignored (deposits stay atomic) at threads > 1.  Off by
+  /// default (seed behaviour pays the lock prefix even single-threaded).
+  bool tally_direct = false;
   /// Particle-id slice this run sources (default: the whole deck bank).
   ParticleSpan span;
   /// Carry a Neumaier error term per tally cell so each cell rounds once —

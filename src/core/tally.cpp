@@ -15,8 +15,10 @@ const char* to_string(TallyMode mode) {
 }
 
 EnergyTally::EnergyTally(std::int64_t cells, TallyMode mode,
-                         std::int32_t threads, bool compensated)
-    : mode_(mode), compensated_(compensated) {
+                         std::int32_t threads, bool compensated, bool direct)
+    : mode_(mode),
+      compensated_(compensated),
+      direct_(direct && threads == 1 && !compensated) {
   NEUTRAL_REQUIRE(cells > 0, "tally needs at least one cell");
   NEUTRAL_REQUIRE(threads >= 1, "tally needs at least one thread slot");
   NEUTRAL_REQUIRE(!(compensated && mode == TallyMode::kAtomic && threads > 1),

@@ -62,8 +62,16 @@ class EnergyTally {
   /// Compensated kAtomic is only meaningful single-threaded (a two-double
   /// update cannot be a single atomic), so that combination requires
   /// `threads == 1`; use a privatized mode for compensated multi-threading.
+  ///
+  /// `direct` requests the single-thread deposit fast path: with exactly
+  /// one thread there is nothing to be atomic against, so a kAtomic
+  /// deposit can be a plain load/add/store instead of a `lock cmpxchg`
+  /// retry loop (x86 has no atomic double add, so the `omp atomic` form
+  /// costs tens of cycles per flush).  The deposits, their values and
+  /// their per-cell order are unchanged — bit-identical by construction —
+  /// and the request is ignored unless `threads == 1`.
   EnergyTally(std::int64_t cells, TallyMode mode, std::int32_t threads,
-              bool compensated = false);
+              bool compensated = false, bool direct = false);
 
   /// Hot path: deposit `e` into flat cell index `flat` from `thread`.
   void deposit(std::int64_t flat, double e, std::int32_t thread) {
@@ -72,6 +80,8 @@ class EnergyTally {
       case TallyMode::kAtomic: {
         if (compensated_) {
           two_sum_add(global_[f], comp_[f], e);  // single-thread only
+        } else if (direct_) {
+          global_[f] += e;  // single-thread fast path: no lock prefix
         } else {
           double& slot = global_[f];
 #pragma omp atomic update
@@ -180,6 +190,7 @@ class EnergyTally {
 
   TallyMode mode_;
   bool compensated_ = false;
+  bool direct_ = false;  ///< single-thread non-atomic deposits (see ctor)
   aligned_vector<double> global_;
   aligned_vector<double> comp_;  ///< per-cell error terms (compensated only)
   std::vector<aligned_vector<double>> privates_;

@@ -1,6 +1,7 @@
 #include "obs/bench_record.h"
 
 #include "obs/json.h"
+#include "util/error.h"
 
 namespace neutral::obs {
 
@@ -35,6 +36,16 @@ void check_string(const JsonValue& obj, const char* key,
   }
 }
 
+void check_bool(const JsonValue& obj, const char* key,
+                const std::string& where,
+                std::vector<std::string>& problems) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is(JsonValue::Type::kBool)) {
+    problems.push_back(where + ": missing or non-boolean field '" +
+                       std::string(key) + "'");
+  }
+}
+
 }  // namespace
 
 std::string BenchDocument::to_json() const {
@@ -47,7 +58,16 @@ std::string BenchDocument::to_json() const {
          "\n  },\n";
   out += "  \"run\": {\n";
   out += "    \"threads\": " + std::to_string(threads) + ",\n";
-  out += "    \"repeats\": " + std::to_string(repeats) + "\n  },\n";
+  out += "    \"repeats\": " + std::to_string(repeats) + ",\n";
+  out += "    \"lookup\": " + quoted(lookup) + ",\n";
+  out += "    \"rng_batch\": " + std::string(rng_batch ? "true" : "false") +
+         ",\n";
+  out += "    \"branchless_events\": " +
+         std::string(branchless_events ? "true" : "false") + ",\n";
+  out += "    \"sort_events\": " +
+         std::string(sort_events ? "true" : "false") + ",\n";
+  out += "    \"tally_direct\": " +
+         std::string(tally_direct ? "true" : "false") + "\n  },\n";
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -59,6 +79,10 @@ std::string BenchDocument::to_json() const {
     out += "      \"timesteps\": " + std::to_string(r.timesteps) + ",\n";
     out += "      \"events\": " + std::to_string(r.events) + ",\n";
     out += "      \"seconds\": " + json_number(r.seconds) + ",\n";
+    out += "      \"seconds_median\": " + json_number(r.seconds_median) +
+           ",\n";
+    out += "      \"seconds_stddev\": " + json_number(r.seconds_stddev) +
+           ",\n";
     out += "      \"events_per_second\": " + json_number(r.events_per_second) +
            ",\n";
     out += "      \"checksum\": " + json_number(r.checksum) + ",\n";
@@ -96,11 +120,15 @@ std::vector<std::string> validate_bench_record(const std::string& json_text) {
     return problems;
   }
   const JsonValue* schema = doc.find("schema");
+  bool v1 = false;
   if (schema == nullptr || !schema->is(JsonValue::Type::kString)) {
     problems.emplace_back("missing string field 'schema'");
+  } else if (schema->string == kBenchTransportSchemaV1) {
+    v1 = true;  // pre-config record: run-object knobs and stats optional
   } else if (schema->string != kBenchTransportSchema) {
     problems.push_back("unknown schema '" + schema->string + "' (expected " +
-                       kBenchTransportSchema + ")");
+                       kBenchTransportSchema + " or " +
+                       kBenchTransportSchemaV1 + ")");
   }
   const JsonValue* host = doc.find("host");
   if (host == nullptr || !host->is(JsonValue::Type::kObject)) {
@@ -116,6 +144,13 @@ std::vector<std::string> validate_bench_record(const std::string& json_text) {
   } else {
     check_number(*run, "threads", "run", false, problems);
     check_number(*run, "repeats", "run", false, problems);
+    if (!v1) {
+      check_string(*run, "lookup", "run", problems);
+      check_bool(*run, "rng_batch", "run", problems);
+      check_bool(*run, "branchless_events", "run", problems);
+      check_bool(*run, "sort_events", "run", problems);
+      check_bool(*run, "tally_direct", "run", problems);
+    }
   }
   const JsonValue* results = doc.find("results");
   if (results == nullptr || !results->is(JsonValue::Type::kArray)) {
@@ -139,6 +174,10 @@ std::vector<std::string> validate_bench_record(const std::string& json_text) {
     check_number(r, "timesteps", where, false, problems);
     check_number(r, "events", where, false, problems);
     check_number(r, "seconds", where, false, problems);
+    if (!v1) {
+      check_number(r, "seconds_median", where, false, problems);
+      check_number(r, "seconds_stddev", where, false, problems);
+    }
     check_number(r, "events_per_second", where, false, problems);
     check_number(r, "checksum", where, true, problems);
     check_number(r, "population", where, false, problems);
@@ -162,6 +201,33 @@ std::vector<std::string> validate_bench_record(const std::string& json_text) {
     }
   }
   return problems;
+}
+
+std::string BenchHostShape::describe() const {
+  return std::to_string(logical_cpus) + " logical CPU(s), " +
+         std::to_string(openmp_max_threads) + " OpenMP max thread(s), run at " +
+         std::to_string(threads) + " thread(s)";
+}
+
+BenchHostShape read_host_shape(const std::string& json_text) {
+  const JsonValue doc = parse_json(json_text);
+  const JsonValue* host = doc.find("host");
+  const JsonValue* run = doc.find("run");
+  NEUTRAL_REQUIRE(host != nullptr && host->is(JsonValue::Type::kObject) &&
+                      run != nullptr && run->is(JsonValue::Type::kObject),
+                  "bench record has no host/run objects");
+  BenchHostShape shape;
+  auto number = [](const JsonValue& obj, const char* key) {
+    const JsonValue* v = obj.find(key);
+    NEUTRAL_REQUIRE(v != nullptr && v->is(JsonValue::Type::kNumber),
+                    "bench record missing numeric field '" +
+                        std::string(key) + "'");
+    return static_cast<std::int32_t>(v->number);
+  };
+  shape.logical_cpus = number(*host, "logical_cpus");
+  shape.openmp_max_threads = number(*host, "openmp_max_threads");
+  shape.threads = number(*run, "threads");
+  return shape;
 }
 
 }  // namespace neutral::obs

@@ -15,6 +15,12 @@
 namespace neutral::obs {
 
 inline constexpr const char* kBenchTransportSchema =
+    "neutral.bench_transport/v2";
+/// v1: no run-configuration fields, no repeat statistics.  Still accepted
+/// by the validator and bench_compare (missing config = the default
+/// config, which is what every v1 record ran) so the perf trajectory can
+/// be diffed across the repo's own history.
+inline constexpr const char* kBenchTransportSchemaV1 =
     "neutral.bench_transport/v1";
 
 struct BenchPhase {
@@ -30,8 +36,12 @@ struct BenchResult {
   std::int64_t particles = 0;
   std::int32_t timesteps = 0;
   std::uint64_t events = 0;
-  double seconds = 0.0;
-  double events_per_second = 0.0;
+  double seconds = 0.0;  ///< best (minimum) wall time over the repeats
+  /// Repeat statistics (v2): equal to `seconds` when repeats == 1, so the
+  /// fields are always present and old single-shot records stay readable.
+  double seconds_median = 0.0;
+  double seconds_stddev = 0.0;
+  double events_per_second = 0.0;  ///< from the best repeat
   double checksum = 0.0;  ///< deterministic tally checksum for the config
   std::int64_t population = 0;
   std::uint64_t peak_mesh_bytes = 0;
@@ -46,6 +56,13 @@ struct BenchDocument {
   std::int32_t openmp_max_threads = 1;
   std::int32_t threads = 1;  ///< OpenMP threads the bench ran with
   std::int32_t repeats = 1;  ///< timing repeats (best-of)
+  /// Run configuration (v2): which fast paths the record timed.  Two
+  /// records are only comparable when bench_compare can see what each ran.
+  std::string lookup = "cached";  ///< XS lookup strategy name
+  bool rng_batch = false;
+  bool branchless_events = false;
+  bool sort_events = false;
+  bool tally_direct = false;
   std::vector<BenchResult> results;
 
   [[nodiscard]] std::string to_json() const;
@@ -55,5 +72,27 @@ struct BenchDocument {
 /// wrong schema marker, missing/mistyped fields, empty results, negative
 /// quantities, non-JSON input.
 std::vector<std::string> validate_bench_record(const std::string& json_text);
+
+/// The part of a record that must match before timings are comparable.
+/// The committed baseline was once taken on a 1-logical-CPU container and
+/// silently compared against multi-core runs; both bench_transport --check
+/// and bench_compare now refuse that by default.
+struct BenchHostShape {
+  std::int32_t logical_cpus = 0;
+  std::int32_t openmp_max_threads = 0;
+  std::int32_t threads = 0;  ///< run.threads, not a host property, but a
+                             ///< mismatch poisons comparisons identically
+
+  [[nodiscard]] bool matches(const BenchHostShape& other) const {
+    return logical_cpus == other.logical_cpus &&
+           openmp_max_threads == other.openmp_max_threads &&
+           threads == other.threads;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Extract the host shape from a record.  Throws neutral::Error on
+/// malformed input (run validate_bench_record first for a full report).
+BenchHostShape read_host_shape(const std::string& json_text);
 
 }  // namespace neutral::obs

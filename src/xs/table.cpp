@@ -20,6 +20,7 @@ const char* to_string(XsLookup mode) {
     case XsLookup::kBinarySearch: return "binary";
     case XsLookup::kCachedLinear: return "cached-linear";
     case XsLookup::kBucketedIndex: return "bucketed";
+    case XsLookup::kUnionised: return "unionised";
   }
   return "?";
 }
@@ -106,6 +107,83 @@ std::int32_t CrossSectionTable::find_bin(double ev, XsLookup mode,
     case XsLookup::kBinarySearch: i = find_binary(ev); break;
     case XsLookup::kCachedLinear: i = find_cached(ev, cached_index); break;
     case XsLookup::kBucketedIndex: i = find_bucketed(ev); break;
+    // The fused unionised path lives on UnionisedXsGrid; a bare table
+    // degrades to the other O(1) index, which locates the same bin.
+    case XsLookup::kUnionised: i = find_bucketed(ev); break;
+  }
+  cached_index = i;
+  return i;
+}
+
+std::int32_t CrossSectionTable::find_bin_counted(double ev, XsLookup mode,
+                                                 std::int32_t& cached_index,
+                                                 std::int64_t& steps) const {
+  const double e = clamp(ev, energy_.front(), energy_.back());
+  const auto last = static_cast<std::int32_t>(energy_.size()) - 2;
+
+  // Mirrors find_bucketed, counting post-index walk advances.
+  const auto bucketed_counted = [&]() {
+    auto b = static_cast<std::int32_t>((std::log(e) - log_min_) *
+                                       inv_log_bucket_width_);
+    b = std::clamp(b, 0, static_cast<std::int32_t>(bucket_start_.size()) - 2);
+    std::int32_t i = bucket_start_[b];
+    while (i < last && energy_[i + 1] <= e) {
+      ++i;
+      ++steps;
+    }
+    return i;
+  };
+
+  std::int32_t i = 0;
+  switch (mode) {
+    case XsLookup::kBinarySearch: {
+      // Count the halving probes an explicit binary search performs.
+      std::int32_t lo = 0;
+      std::int32_t hi = static_cast<std::int32_t>(energy_.size());
+      while (hi - lo > 1) {
+        const std::int32_t mid = lo + (hi - lo) / 2;
+        ++steps;
+        if (energy_[mid] <= e) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      i = std::clamp(lo, 0, last);
+      break;
+    }
+    case XsLookup::kCachedLinear: {
+      // Mirrors find_cached, including the bounded-walk reseed through
+      // the bucketed index.
+      constexpr std::int32_t kMaxWalk = 16;
+      i = std::clamp(cached_index, 0, last);
+      std::int32_t walked = 0;
+      bool reseeded = false;
+      while (i < last && energy_[i + 1] <= e) {
+        ++i;
+        ++steps;
+        if (++walked > kMaxWalk) {
+          reseeded = true;
+          break;
+        }
+      }
+      if (!reseeded) {
+        while (i > 0 && energy_[i] > e) {
+          --i;
+          ++steps;
+          if (++walked > kMaxWalk) {
+            reseeded = true;
+            break;
+          }
+        }
+      }
+      if (reseeded) i = bucketed_counted();
+      break;
+    }
+    case XsLookup::kBucketedIndex:
+    case XsLookup::kUnionised:
+      i = bucketed_counted();
+      break;
   }
   cached_index = i;
   return i;

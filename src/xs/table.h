@@ -6,7 +6,7 @@
 // nuclide and are a well-known cache bottleneck [Siegel et al. 2014]; the
 // synthetic tables here (synthetic.h) reproduce that footprint.
 //
-// Three bin-search strategies are provided because the paper measures their
+// Four bin-search strategies are provided because the paper measures their
 // effect (§VI-A: the cached linear search bought 1.3x on csp):
 //   * BinarySearch  — stateless O(log n) baseline.
 //   * CachedLinear  — walk linearly from the particle's previous index;
@@ -14,6 +14,11 @@
 //     stays in the cache lines already resident.
 //   * BucketedIndex — O(1) via a precomputed log-uniform bucket -> index
 //     acceleration grid (the "hash" option real codes use).
+//   * Unionised     — O(1) via the per-World unionised energy grid
+//     (xs/union_grid.h): one fused search serves both reaction tables.
+//     The fused path lives on UnionisedXsGrid; a bare table asked for
+//     kUnionised degrades to the bucketed index (same bin, same values),
+//     which is what hand-built contexts without a World get.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,7 @@ enum class XsLookup : std::uint8_t {
   kBinarySearch = 0,
   kCachedLinear = 1,
   kBucketedIndex = 2,
+  kUnionised = 3,
 };
 
 const char* to_string(XsLookup mode);
@@ -63,8 +69,13 @@ class CrossSectionTable {
     return microscopic(ev, XsLookup::kBinarySearch, idx);
   }
 
-  /// Total search steps performed since construction (for the lookup
-  /// benchmark); only meaningful when NEUTRAL_XS_COUNT_STEPS is defined.
+  /// Instrumented find_bin for the lookup benchmark: identical result,
+  /// but also accumulates the number of search steps (probes/walk
+  /// advances beyond the first) into `steps`.  Off the hot path.
+  [[nodiscard]] std::int32_t find_bin_counted(double ev, XsLookup mode,
+                                              std::int32_t& cached_index,
+                                              std::int64_t& steps) const;
+
   [[nodiscard]] const double* energies_data() const { return energy_.data(); }
   [[nodiscard]] const double* values_data() const { return barns_.data(); }
 

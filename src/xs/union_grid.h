@@ -1,0 +1,112 @@
+// Unionised energy grid: the XsLookup::kUnionised acceleration structure.
+//
+// A World carries one capture table and one scatter table that share a
+// single energy grid (the World constructor enforces it — the per-particle
+// cached bin hint is only sound because of it).  The unionised grid is the
+// union of those grids — here, the shared grid itself — stored once with the
+// two reactions' values interleaved per point, plus a fine log-uniform
+// direct-index table.  A lookup becomes:
+//
+//   1. one O(1) index-table load (the log-uniform synthetic grid makes the
+//      post-load walk almost always zero steps, never more than one), and
+//   2. one interpolation parameter `t` applied to a single 32-byte run of
+//      interleaved (capture, scatter) values — one cache line instead of
+//      two table walks touching two separate tables.
+//
+// Bit-identity contract: for any energy, the located bin equals
+// CrossSectionTable::find_bin's and the interpolated values are computed
+// with the exact expressions CrossSectionTable::microscopic uses, so
+// switching a run to kUnionised can never move a golden checksum.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/aligned.h"
+#include "util/numeric.h"
+#include "xs/table.h"
+
+namespace neutral {
+
+class UnionisedXsGrid {
+ public:
+  UnionisedXsGrid() = default;
+
+  /// Build from the two per-World tables.  Requires bitwise-identical
+  /// energy grids: interpolating a table on refined (strictly-union) knots
+  /// would change the rounding of `t` and break the bit-identity contract,
+  /// so the merged grid is only taken when it is exactly the shared grid.
+  UnionisedXsGrid(const CrossSectionTable& capture,
+                  const CrossSectionTable& scatter);
+
+  [[nodiscard]] bool active() const { return !energy_.empty(); }
+  [[nodiscard]] std::int32_t size() const {
+    return static_cast<std::int32_t>(energy_.size());
+  }
+
+  /// Bin for an energy already clamped into the table range; identical to
+  /// CrossSectionTable::find_bin for every strategy.
+  [[nodiscard]] std::int32_t find_bin(double e) const {
+    auto b = static_cast<std::int32_t>((std::log(e) - log_min_) *
+                                       inv_log_bucket_width_);
+    b = std::clamp(b, 0, static_cast<std::int32_t>(bin_of_.size()) - 2);
+    std::int32_t i = bin_of_[b];
+    const std::int32_t last = size() - 2;
+    while (i < last && energy_[i + 1] <= e) ++i;
+    return i;
+  }
+
+  /// Instrumented find_bin for the lookup benchmark: also accumulates the
+  /// number of post-index walk steps into `steps`.
+  [[nodiscard]] std::int32_t find_bin_counted(double ev,
+                                              std::int64_t& steps) const {
+    const double e = clamp(ev, energy_.front(), energy_.back());
+    auto b = static_cast<std::int32_t>((std::log(e) - log_min_) *
+                                       inv_log_bucket_width_);
+    b = std::clamp(b, 0, static_cast<std::int32_t>(bin_of_.size()) - 2);
+    std::int32_t i = bin_of_[b];
+    const std::int32_t last = size() - 2;
+    while (i < last && energy_[i + 1] <= e) {
+      ++i;
+      ++steps;
+    }
+    return i;
+  }
+
+  /// Fused lookup: one bin search, one interpolation parameter, both
+  /// reactions.  Bit-identical to two CrossSectionTable::microscopic calls
+  /// (same clamp, same bin, same interpolation expressions).  `index`
+  /// receives the bin so callers keep the per-particle hint current for
+  /// mid-run strategy switches.
+  void microscopic_pair(double ev, std::int32_t& index, double& capture_barns,
+                        double& scatter_barns) const {
+    const double e = clamp(ev, energy_.front(), energy_.back());
+    const std::int32_t i = find_bin(e);
+    const double e0 = energy_[i];
+    const double e1 = energy_[i + 1];
+    const double t = (e - e0) / (e1 - e0);
+    const double* p = pair_.data() + 2 * static_cast<std::size_t>(i);
+    capture_barns = p[0] + t * (p[2] - p[0]);
+    scatter_barns = p[1] + t * (p[3] - p[1]);
+    index = i;
+  }
+
+  /// Resident bytes of the grid + interleaved values + direct-index table
+  /// (the memory side of the speed/memory tradeoff; see README).
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return energy_.size() * sizeof(double) + pair_.size() * sizeof(double) +
+           bin_of_.size() * sizeof(std::int32_t);
+  }
+
+ private:
+  aligned_vector<double> energy_;  ///< the shared (union) grid
+  aligned_vector<double> pair_;    ///< interleaved [capture_i, scatter_i]
+  /// Fine log-uniform direct index: ~4 buckets per grid point, so the walk
+  /// after the load is 0 or 1 steps on the log-uniform synthetic grids.
+  aligned_vector<std::int32_t> bin_of_;
+  double log_min_ = 0.0;
+  double inv_log_bucket_width_ = 0.0;
+};
+
+}  // namespace neutral

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
 
 #include "batch/domain.h"
@@ -165,6 +166,68 @@ TEST_P(GoldenSchemes, DomainDecompositionPreservesEverySchemeAndLayout) {
                 reference.counters.collisions);
       EXPECT_EQ(report.merged.counters.censuses,
                 reference.counters.censuses);
+    }
+  }
+}
+
+TEST_P(GoldenSchemes, FastPathsPreserveChecksumsExactly) {
+  // The perf-pass contract: every fast path — unionised XS grid, batched
+  // RNG, branchless event search, event-sorted traversal, direct tally
+  // deposits — is a mechanical rearrangement, not an approximation.  The
+  // full cross product of scheme x layout x lookup x rng_batch x
+  // branchless x sort x tally_direct must reproduce the default path's
+  // outputs bit for bit (atomic tally, one thread: zero legitimate
+  // wobble, so EXPECT_EQ on doubles is correct).
+  const std::string name = GetParam();
+  for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+    for (const Layout layout : {Layout::kAoS, Layout::kSoA}) {
+      SimulationConfig ref_cfg = golden_config(name);
+      ref_cfg.scheme = scheme;
+      ref_cfg.layout = layout;
+      Simulation ref_sim(ref_cfg);
+      const RunResult reference = ref_sim.run();
+
+      for (const XsLookup lookup :
+           {XsLookup::kBinarySearch, XsLookup::kCachedLinear,
+            XsLookup::kBucketedIndex, XsLookup::kUnionised}) {
+        for (const bool rng_batch : {false, true}) {
+          for (const bool branchless : {false, true}) {
+            // Event sorting only exists in the Over Events scheme.
+            for (const bool sort :
+                 scheme == Scheme::kOverEvents
+                     ? std::initializer_list<bool>{false, true}
+                     : std::initializer_list<bool>{false}) {
+              for (const bool direct : {false, true}) {
+                SimulationConfig cfg = ref_cfg;
+                cfg.lookup = lookup;
+                cfg.rng_batch = rng_batch;
+                cfg.branchless_events = branchless;
+                cfg.over_events.sort_events = sort;
+                cfg.tally_direct = direct;
+                Simulation sim(std::move(cfg));
+                const RunResult result = sim.run();
+                SCOPED_TRACE(std::string(to_string(scheme)) + "/" +
+                             to_string(layout) + "/" + to_string(lookup) +
+                             (rng_batch ? "/rng-batch" : "") +
+                             (branchless ? "/branchless" : "") +
+                             (sort ? "/sorted" : "") +
+                             (direct ? "/tally-direct" : ""));
+                EXPECT_EQ(result.tally_checksum, reference.tally_checksum);
+                EXPECT_EQ(result.budget.tally_total,
+                          reference.budget.tally_total);
+                EXPECT_EQ(result.population, reference.population);
+                EXPECT_EQ(result.counters.facets, reference.counters.facets);
+                EXPECT_EQ(result.counters.collisions,
+                          reference.counters.collisions);
+                EXPECT_EQ(result.counters.censuses,
+                          reference.counters.censuses);
+                EXPECT_EQ(result.counters.rng_draws,
+                          reference.counters.rng_draws);
+              }
+            }
+          }
+        }
+      }
     }
   }
 }

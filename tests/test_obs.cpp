@@ -406,6 +406,27 @@ TEST(BenchRecord, GeneratedDocumentValidates) {
   EXPECT_EQ(doc.find("schema")->string, obs::kBenchTransportSchema);
 }
 
+TEST(BenchRecord, V1RecordsStillValidate) {
+  // The PR-6 era baseline predates the run-config and repeat-stat fields;
+  // it must keep validating so bench_compare can diff the perf trajectory
+  // across the repo's own history.
+  const std::string v1 = R"({
+    "schema": "neutral.bench_transport/v1",
+    "host": {"cpu_model": "test", "logical_cpus": 1,
+             "openmp_max_threads": 1},
+    "run": {"threads": 1, "repeats": 1},
+    "results": [
+      {"deck": "golden_stream", "scheme": "particles", "layout": "aos",
+       "particles": 100, "timesteps": 2, "events": 1000, "seconds": 0.5,
+       "events_per_second": 2000.0, "checksum": 1.5, "population": 100,
+       "peak_mesh_bytes": 1024, "peak_bank_bytes": 1024, "phases": []}
+    ]
+  })";
+  const std::vector<std::string> problems = obs::validate_bench_record(v1);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+}
+
 TEST(BenchRecord, CorruptionIsDetected) {
   EXPECT_FALSE(obs::validate_bench_record("not json at all").empty());
 

@@ -348,5 +348,64 @@ TEST(BulkStream, UniformRange) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched stream (the hot-loop RNG fast path)
+// ---------------------------------------------------------------------------
+
+TEST(Threefry, BatchOfFourFirstWordsMatchesSingleCalls) {
+  for (const std::uint64_t seed : {0ull, 1ull, 42ull, ~0ull}) {
+    for (const std::uint64_t base :
+         {0ull, 1ull, 2ull, 3ull, 1000ull, ~0ull - 7}) {
+      const u64x2 key{seed, 0xDEADBEEFull ^ seed};
+      const std::array<std::uint64_t, 4> batch =
+          threefry2x64x4_first(base, key);
+      for (std::uint64_t k = 0; k < 4; ++k) {
+        const u64x2 counter{base + k, 0};
+        EXPECT_EQ(batch[k], threefry2x64(counter, key)[0])
+            << "seed=" << seed << " base=" << base << " lane=" << k;
+      }
+    }
+  }
+}
+
+TEST(BatchedStream, IdenticalSequenceToParticleStream) {
+  for (const std::uint64_t seed : {1ull, 7ull, 0xABCDEFull}) {
+    ParticleStream plain(seed, 17);
+    BatchedStream batched(seed, 17);
+    for (int i = 0; i < 1000; ++i) {
+      // Bit identity (not EXPECT_DOUBLE_EQ closeness) is the contract the
+      // golden checksums rest on.
+      ASSERT_EQ(plain.next(), batched.next()) << "draw " << i;
+    }
+    EXPECT_EQ(plain.counter(), batched.counter());
+    EXPECT_EQ(plain.draws(), batched.draws());
+  }
+}
+
+TEST(BatchedStream, ResumeMidHistoryAtAnyPoint) {
+  // The per-event RNG accounting resumes streams at arbitrary counters —
+  // including mid-block offsets the batch buffer must not round away.
+  ParticleStream reference(3, 5);
+  std::vector<double> draws(64);
+  for (double& d : draws) d = reference.next();
+  for (std::uint64_t at = 0; at < 64; ++at) {
+    BatchedStream resumed(3, 5, at);
+    EXPECT_EQ(resumed.counter(), at);
+    for (std::uint64_t i = at; i < 64; ++i) {
+      ASSERT_EQ(draws[i], resumed.next()) << "resume at " << at;
+    }
+  }
+}
+
+TEST(BatchedStream, ExponentialAndRangeMatchParticleStream) {
+  ParticleStream plain(11, 23);
+  BatchedStream batched(11, 23);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(plain.next_exponential(), batched.next_exponential());
+    ASSERT_EQ(plain.next_range(-2.5, 7.5), batched.next_range(-2.5, 7.5));
+  }
+  EXPECT_EQ(plain.counter(), batched.counter());
+}
+
 }  // namespace
 }  // namespace neutral::rng

@@ -3,12 +3,15 @@
 // synthetic nuclear-data generators (§IV-D).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "rng/stream.h"
 #include "util/error.h"
 #include "xs/synthetic.h"
 #include "xs/table.h"
+#include "xs/union_grid.h"
 
 namespace neutral {
 namespace {
@@ -129,6 +132,123 @@ TEST(XsLookup, NamesAreStable) {
   EXPECT_STREQ(to_string(XsLookup::kBinarySearch), "binary");
   EXPECT_STREQ(to_string(XsLookup::kCachedLinear), "cached-linear");
   EXPECT_STREQ(to_string(XsLookup::kBucketedIndex), "bucketed");
+  EXPECT_STREQ(to_string(XsLookup::kUnionised), "unionised");
+}
+
+// ---------------------------------------------------------------------------
+// Unionised grid: all four strategies bit-identical (§VI-A tentpole)
+// ---------------------------------------------------------------------------
+
+/// Fuzzed energy sweep shared by the matrix tests: log-uniform randoms,
+/// every exact grid point, bin edges nudged both ways, and out-of-range
+/// energies on both sides (the clamp path).
+std::vector<double> fuzzed_energies(const CrossSectionTable& t,
+                                    std::uint64_t seed) {
+  std::vector<double> energies;
+  rng::BulkStream rng(seed, 7);
+  const double log_lo = std::log(t.min_energy() * 0.01);
+  const double log_hi = std::log(t.max_energy() * 100.0);
+  for (int i = 0; i < 2000; ++i) {
+    energies.push_back(std::exp(log_lo + (log_hi - log_lo) * rng.next()));
+  }
+  for (std::int32_t i = 0; i < t.size(); ++i) {
+    const double e = t.energy(i);
+    energies.push_back(e);  // exact knot
+    energies.push_back(std::nextafter(e, 0.0));
+    energies.push_back(std::nextafter(e, 1.0e300));
+  }
+  energies.push_back(0.0);
+  energies.push_back(t.min_energy() * 1e-8);
+  energies.push_back(t.max_energy() * 1e8);
+  return energies;
+}
+
+TEST(UnionisedGrid, AllFourStrategiesBitIdenticalOverFuzzedSweep) {
+  SyntheticXsConfig cfg;
+  cfg.points = 3000;
+  const auto capture = make_capture_table(cfg);
+  const auto scatter = make_scatter_table(cfg);
+  const UnionisedXsGrid grid(capture, scatter);
+  ASSERT_TRUE(grid.active());
+  ASSERT_EQ(grid.size(), capture.size());
+
+  std::int32_t cached_a = 0;
+  std::int32_t cached_s = 0;
+  for (const double ev : fuzzed_energies(capture, 99)) {
+    std::int32_t bin_idx = 0;
+    std::int32_t bucket_idx = 0;
+    std::int32_t bare_union_idx = 0;
+    const double binary_a =
+        capture.microscopic(ev, XsLookup::kBinarySearch, bin_idx);
+    const double linear_a =
+        capture.microscopic(ev, XsLookup::kCachedLinear, cached_a);
+    const double bucket_a =
+        capture.microscopic(ev, XsLookup::kBucketedIndex, bucket_idx);
+    // A bare table asked for kUnionised degrades to the bucketed index.
+    const double bare_union_a =
+        capture.microscopic(ev, XsLookup::kUnionised, bare_union_idx);
+    std::int32_t union_idx = 0;
+    double union_a = 0.0;
+    double union_s = 0.0;
+    grid.microscopic_pair(ev, union_idx, union_a, union_s);
+
+    // Bit identity, not closeness: the fast paths must be exact.
+    EXPECT_EQ(binary_a, linear_a) << "ev=" << ev;
+    EXPECT_EQ(binary_a, bucket_a) << "ev=" << ev;
+    EXPECT_EQ(binary_a, bare_union_a) << "ev=" << ev;
+    EXPECT_EQ(binary_a, union_a) << "ev=" << ev;
+    EXPECT_EQ(bin_idx, union_idx) << "ev=" << ev;
+    EXPECT_EQ(bin_idx, cached_a) << "ev=" << ev;
+    EXPECT_EQ(bin_idx, bucket_idx) << "ev=" << ev;
+
+    const double binary_s =
+        scatter.microscopic(ev, XsLookup::kBinarySearch, bin_idx);
+    const double linear_s =
+        scatter.microscopic(ev, XsLookup::kCachedLinear, cached_s);
+    EXPECT_EQ(binary_s, linear_s) << "ev=" << ev;
+    EXPECT_EQ(binary_s, union_s) << "ev=" << ev;
+  }
+}
+
+TEST(UnionisedGrid, RejectsMismatchedEnergyGrids) {
+  aligned_vector<double> e1{1.0, 2.0, 4.0, 8.0};
+  aligned_vector<double> e2{1.0, 2.0, 4.5, 8.0};
+  aligned_vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const CrossSectionTable a(std::move(e1), aligned_vector<double>(v));
+  const CrossSectionTable b(std::move(e2), aligned_vector<double>(v));
+  EXPECT_THROW(UnionisedXsGrid(a, b), Error);
+
+  aligned_vector<double> e3{1.0, 2.0, 4.0};
+  aligned_vector<double> v3{1.0, 2.0, 3.0};
+  const CrossSectionTable c(std::move(e3), std::move(v3));
+  EXPECT_THROW(UnionisedXsGrid(a, c), Error);
+}
+
+TEST(UnionisedGrid, CountedFindBinMatchesPlainFindBin) {
+  SyntheticXsConfig cfg;
+  cfg.points = 500;
+  const auto capture = make_capture_table(cfg);
+  const auto scatter = make_scatter_table(cfg);
+  const UnionisedXsGrid grid(capture, scatter);
+  std::int64_t union_steps = 0;
+  std::int64_t table_steps = 0;
+  std::int64_t lookups = 0;
+  for (const double ev : fuzzed_energies(capture, 7)) {
+    std::int32_t hint = 0;
+    const std::int32_t plain = capture.find_bin(
+        std::clamp(ev, capture.min_energy(), capture.max_energy()),
+        XsLookup::kBinarySearch, hint);
+    EXPECT_EQ(grid.find_bin_counted(ev, union_steps), plain) << "ev=" << ev;
+    std::int32_t idx = 0;
+    EXPECT_EQ(capture.find_bin_counted(ev, XsLookup::kBucketedIndex, idx,
+                                       table_steps),
+              plain)
+        << "ev=" << ev;
+    ++lookups;
+  }
+  // The direct-index table is fine enough that the residual walk averages
+  // well under one step per lookup.
+  EXPECT_LT(static_cast<double>(union_steps), static_cast<double>(lookups));
 }
 
 // ---------------------------------------------------------------------------
