@@ -205,6 +205,11 @@ int main(int argc, char** argv) {
         "one bit-identical row");
     const auto cache_mb = cli.option_int(
         "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
+    const long aging_ms = cli.option_int(
+        "priority-aging-ms", 0,
+        "queued jobs gain one effective priority level per this many ms "
+        "waited, so saturating high-priority traffic cannot starve "
+        "low-priority work (0 = strict priority)");
     const std::string connect = cli.option(
         "connect", "",
         "run the sweep against a neutrald at host:port instead of "
@@ -235,6 +240,8 @@ int main(int argc, char** argv) {
         "non-atomic tally deposits for single-threaded jobs "
         "(bit-identical; ignored at threads > 1); overrides the spec");
     if (!cli.finish()) return 0;
+    NEUTRAL_REQUIRE(aging_ms >= 0, "--priority-aging-ms must be >= 0");
+    options.policy.priority_aging = std::chrono::milliseconds(aging_ms);
     options.cache.max_bytes =
         static_cast<std::uint64_t>(std::max(cache_mb, 0L)) << 20;
 
@@ -258,10 +265,12 @@ int main(int argc, char** argv) {
                       "daemon side");
       NEUTRAL_REQUIRE(options.workers == 0 && options.threads_per_job == 0 &&
                           options.queue_capacity == 0 &&
-                          options.reuse_worlds && cache_mb == 0,
+                          options.reuse_worlds && cache_mb == 0 &&
+                          aging_ms == 0,
                       "engine knobs (--workers, --threads-per-job, "
-                      "--queue-capacity, --no-cache, --cache-mb) configure "
-                      "the daemon; set them when starting neutrald");
+                      "--queue-capacity, --no-cache, --cache-mb, "
+                      "--priority-aging-ms) configure the daemon; set them "
+                      "when starting neutrald");
       NEUTRAL_REQUIRE(!rng_batch && !branchless_events && !sort_events &&
                           !tally_direct,
                       "--connect submits the spec text verbatim; set the "

@@ -50,10 +50,22 @@ int main(int argc, char** argv) {
         "timed_out (0 = unbounded)");
     const auto cache_mb = cli.option_int(
         "cache-mb", 0, "world cache byte budget in MiB (0 = unbounded)");
+    const long aging_ms = cli.option_int(
+        "priority-aging-ms", 0,
+        "queued jobs gain one effective priority level per this many ms "
+        "waited, so saturating high-priority traffic cannot starve "
+        "low-priority work (0 = strict priority)");
     options.max_pending_submissions = static_cast<std::size_t>(cli.option_int(
         "max-pending", 64, "refuse submits beyond this many in flight"));
     options.max_retained_results = static_cast<std::size_t>(cli.option_int(
         "max-retained", 256, "finished submissions kept queryable"));
+    const long max_connections = cli.option_int(
+        "max-connections", 1024,
+        "refuse TCP connections beyond this many open at once");
+    const long max_inflight = cli.option_int(
+        "max-inflight", 16,
+        "refuse a connection's submits beyond this many of its submissions "
+        "queued or running");
     const long metrics_port_raw = cli.option_int(
         "metrics-port", 0,
         "serve Prometheus text exposition over plain HTTP on this port "
@@ -72,11 +84,18 @@ int main(int argc, char** argv) {
     options.metrics_port = static_cast<std::uint16_t>(metrics_port_raw);
     NEUTRAL_REQUIRE(queue_wait_ms >= 0 && run_wall_ms >= 0,
                     "--max-queue-wait-ms / --max-run-wall-ms must be >= 0");
+    NEUTRAL_REQUIRE(aging_ms >= 0, "--priority-aging-ms must be >= 0");
+    NEUTRAL_REQUIRE(max_connections > 0, "--max-connections must be > 0");
+    NEUTRAL_REQUIRE(max_inflight > 0, "--max-inflight must be > 0");
     options.port = static_cast<std::uint16_t>(port_raw);
     options.engine.policy.max_queue_wait =
         std::chrono::milliseconds(queue_wait_ms);
     options.engine.policy.max_run_wall =
         std::chrono::milliseconds(run_wall_ms);
+    options.engine.policy.priority_aging = std::chrono::milliseconds(aging_ms);
+    options.max_connections = static_cast<std::size_t>(max_connections);
+    options.max_inflight_per_connection =
+        static_cast<std::size_t>(max_inflight);
     options.engine.cache.max_bytes =
         static_cast<std::uint64_t>(cache_mb > 0 ? cache_mb : 0) << 20;
 

@@ -1,5 +1,7 @@
 #include "batch/queue.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "util/error.h"
 
@@ -17,10 +19,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 JobQueue::JobQueue(std::size_t capacity, QueuePolicy policy,
                    obs::MetricsRegistry* metrics)
-    : capacity_(capacity), policy_(policy) {
+    : capacity_(capacity),
+      policy_(policy),
+      epoch_(std::chrono::steady_clock::now()) {
   NEUTRAL_REQUIRE(capacity > 0, "job queue capacity must be positive");
   NEUTRAL_REQUIRE(policy.max_queue_wait.count() >= 0 &&
-                      policy.max_run_wall.count() >= 0,
+                      policy.max_run_wall.count() >= 0 &&
+                      policy.priority_aging.count() >= 0,
                   "queue policy durations must be non-negative");
   if (metrics != nullptr) {
     depth_ = &metrics->gauge("neutral_queue_depth", "jobs currently queued");
@@ -41,9 +46,26 @@ JobQueue::JobQueue(std::size_t capacity, QueuePolicy policy,
   }
 }
 
+double JobQueue::rank_of(const Job& job) const {
+  // eff(t) = priority + (t - enqueue)/T is what we want to order by; the
+  // `t` term is common to every comparison, so the stored rank drops it:
+  // priority - (enqueue - epoch)/T.  Aging off (T = 0) stores the bare
+  // priority, which is bitwise the strict-priority ordering.
+  double rank = static_cast<double>(job.priority);
+  if (policy_.priority_aging.count() > 0) {
+    const double waited_intervals =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_)
+            .count() /
+        std::chrono::duration<double>(policy_.priority_aging).count();
+    rank -= waited_intervals;
+  }
+  return rank;
+}
+
 void JobQueue::note_depth_locked() {
   if (depth_ != nullptr) {
-    depth_->set(static_cast<std::int64_t>(heap_.size()));
+    depth_->set(static_cast<std::int64_t>(live_));
   }
 }
 
@@ -62,6 +84,26 @@ void JobQueue::note_push_outcome(PushOutcome outcome, double wait_seconds) {
   }
 }
 
+void JobQueue::drop_dead_top_locked() {
+  while (!heap_.empty() && heap_.front().dead) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryOrder{});
+    heap_.pop_back();
+  }
+}
+
+Job JobQueue::take_top_locked() {
+  drop_dead_top_locked();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  Job job = std::move(heap_.back().job);
+  heap_.pop_back();
+  --live_;
+  // The new top may itself be a tombstone left behind by a cancellation;
+  // purge now so the shrink is not deferred indefinitely.
+  drop_dead_top_locked();
+  note_depth_locked();
+  return job;
+}
+
 PushOutcome JobQueue::push_locked(
     Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
     std::optional<std::chrono::steady_clock::time_point> deadline) {
@@ -70,7 +112,7 @@ PushOutcome JobQueue::push_locked(
     return group != 0 && cancelled_groups_.count(group) != 0;
   };
   auto unblocked = [&] {
-    return closed_ || cancelled() || heap_.size() < capacity_;
+    return closed_ || cancelled() || live_ < capacity_;
   };
   if (blocking) {
     if (deadline.has_value()) {
@@ -80,13 +122,16 @@ PushOutcome JobQueue::push_locked(
     }
   }
   if (closed_ || cancelled()) return PushOutcome::kRefused;
-  if (heap_.size() >= capacity_) {
+  if (live_ >= capacity_) {
     // Still full: a timed wait expired (kTimedOut — the queue is alive and
     // retrying may succeed) or this was a try_push.
     return deadline.has_value() ? PushOutcome::kTimedOut
                                 : PushOutcome::kRefused;
   }
-  heap_.push(Entry{job.priority, next_sequence_++, std::move(job)});
+  heap_.push_back(
+      Entry{rank_of(job), next_sequence_++, /*dead=*/false, std::move(job)});
+  std::push_heap(heap_.begin(), heap_.end(), EntryOrder{});
+  ++live_;
   note_depth_locked();
   not_empty_.notify_one();
   return PushOutcome::kAccepted;
@@ -98,27 +143,34 @@ std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     cancelled_groups_.insert(group);
-    if (!heap_.empty()) {
-      // std::priority_queue cannot remove from the middle: drain and
-      // rebuild.  Sequence numbers are preserved, so survivors keep their
-      // FIFO order within each priority level.
-      std::vector<Entry> keep;
-      keep.reserve(heap_.size());
-      while (!heap_.empty()) {
-        Entry e = std::move(const_cast<Entry&>(heap_.top()));
-        heap_.pop();
-        if (e.job.group == group) {
-          removed.push_back(std::move(e.job));
-        } else {
-          keep.push_back(std::move(e));
-        }
+    // Lazy tombstoning: mark matches dead in place — O(n) scan, no heap
+    // rebuild — and let pop() discard them as they surface at the top.
+    // The jobs themselves are moved out now so the caller can record
+    // their outcomes; ordering by sequence keeps that record
+    // deterministic.
+    std::vector<std::pair<std::uint64_t, Job>> matches;
+    for (Entry& entry : heap_) {
+      if (!entry.dead && entry.job.group == group) {
+        matches.emplace_back(entry.sequence, std::move(entry.job));
+        entry.dead = true;
+        --live_;
       }
-      for (Entry& e : keep) heap_.push(std::move(e));
-      note_depth_locked();
     }
+    std::sort(matches.begin(), matches.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    removed.reserve(matches.size());
+    for (auto& [sequence, job] : matches) {
+      (void)sequence;
+      removed.push_back(std::move(job));
+    }
+    // Keep the "front() is live while live_ > 0" invariant cheaply; deeper
+    // tombstones wait for pop().
+    drop_dead_top_locked();
+    note_depth_locked();
   }
-  // Removing jobs frees capacity; a cancelled group also unblocks its own
-  // producer, which must observe the refusal.
+  // Tombstoning frees live capacity; a cancelled group also unblocks its
+  // own producer, which must observe the refusal (even when nothing was
+  // queued yet — the producer may be mid-push).
   not_full_.notify_all();
   return removed;
 }
@@ -183,13 +235,9 @@ std::optional<Job> JobQueue::pop() {
   std::optional<Job> job;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !heap_.empty(); });
-    if (heap_.empty()) return std::nullopt;  // closed and drained
-    // priority_queue::top() is const; the move is safe because the entry
-    // is popped before anyone else can observe it.
-    job = std::move(const_cast<Entry&>(heap_.top()).job);
-    heap_.pop();
-    note_depth_locked();
+    not_empty_.wait(lock, [&] { return closed_ || live_ > 0; });
+    if (live_ == 0) return std::nullopt;  // closed and drained
+    job = take_top_locked();
     not_full_.notify_one();
   }
   if (pop_wait_ != nullptr) pop_wait_->observe(seconds_since(start));
@@ -203,13 +251,11 @@ std::optional<Job> JobQueue::pop_until(
   {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait_until(lock, deadline,
-                          [&] { return closed_ || !heap_.empty(); });
-    if (heap_.empty()) {
+                          [&] { return closed_ || live_ > 0; });
+    if (live_ == 0) {
       return std::nullopt;  // closed, drained, or timed out
     }
-    job = std::move(const_cast<Entry&>(heap_.top()).job);
-    heap_.pop();
-    note_depth_locked();
+    job = take_top_locked();
     not_full_.notify_one();
   }
   if (pop_wait_ != nullptr) pop_wait_->observe(seconds_since(start));
@@ -232,7 +278,12 @@ bool JobQueue::closed() const {
 
 std::size_t JobQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return heap_.size();
+  return live_;
+}
+
+std::size_t JobQueue::dead_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size() - live_;
 }
 
 }  // namespace neutral::batch

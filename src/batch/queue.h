@@ -1,5 +1,5 @@
-// Bounded MPMC job queue with priority ordering, deadlines and graceful
-// shutdown.
+// Bounded MPMC job queue with priority ordering, aging, deadlines and
+// graceful shutdown.
 //
 // The engine's producer pushes jobs while N workers pop; both sides block
 // on condition variables, so a bounded capacity applies back-pressure to
@@ -7,6 +7,16 @@
 // by descending priority, FIFO within a priority level (a monotonic
 // sequence number breaks ties, so equal-priority jobs run in submission
 // order and the pop order is deterministic for a single consumer).
+//
+// Priority aging: with QueuePolicy::priority_aging = T > 0, a queued job's
+// effective priority grows by one level per T waited, so a saturating
+// stream of high-priority work cannot starve low-priority jobs forever.
+// The trick that keeps the heap static: eff(t) = priority + (t - enqueue)/T
+// orders any two queued jobs identically at every instant (the `t` term
+// cancels in the comparison), so the queue stores the time-invariant rank
+// priority - (enqueue - epoch)/T computed once at push and never reorders.
+// T = 0 (the default) disables aging and reproduces the strict-priority
+// ordering bit-for-bit.
 //
 // Deadlines: a fork-join CLI can afford to block forever — a daemon
 // cannot.  push_until()/pop_until() bound any wait with
@@ -21,11 +31,15 @@
 // Workers therefore exit exactly when the queue is closed AND empty —
 // jobs in flight at close() still complete.
 //
-// Cancelled-group lifetime: cancel_pending() tombstones the group so a
-// producer mid-submission cannot resurrect it, and forget_group() evicts
-// the tombstone once the caller has accounted for every job of the group
-// — without it the set grows one entry per cancelled group for the life
-// of the queue (the unbounded-memory bug a long-running daemon hits).
+// Cancellation is lazy: cancel_pending() marks the group's entries dead in
+// place (O(matches), no heap rebuild) and pop() purges dead entries as
+// they surface at the top, O(log n) amortized.  Capacity and size() count
+// live entries only, so tombstones never block producers.  The group is
+// also remembered as cancelled so a producer mid-submission cannot
+// resurrect it, and forget_group() evicts that tombstone once the caller
+// has accounted for every job of the group — without it the set grows one
+// entry per cancelled group for the life of the queue (the
+// unbounded-memory bug a long-running daemon hits).
 #pragma once
 
 #include <chrono>
@@ -33,7 +47,6 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -48,8 +61,9 @@ class Histogram;
 
 namespace neutral::batch {
 
-/// Deadline policy for long-lived queue/engine deployments.  Zero means
-/// "unbounded" — the fork-join CLI default, where waits are known finite.
+/// Deadline/fairness policy for long-lived queue/engine deployments.  Zero
+/// means "unbounded"/"off" — the fork-join CLI default, where waits are
+/// known finite and strict priority is what the caller asked for.
 struct QueuePolicy {
   /// Bounds (a) how long a producer blocks in push() and (b) how long a
   /// job may sit queued before a worker pops it: the engine stamps
@@ -61,6 +75,10 @@ struct QueuePolicy {
   /// transport-round boundaries); an expired run completes as timed_out
   /// and cancels its group like a failure.
   std::chrono::milliseconds max_run_wall{0};
+  /// Priority aging interval: a queued job gains one effective priority
+  /// level per this much wait, so priority-0 work overtakes a saturating
+  /// priority-9 stream after at most 9 intervals.  Zero = strict priority.
+  std::chrono::milliseconds priority_aging{0};
 };
 
 /// Result of a (possibly timed) push.  kRefused = the queue is closed or
@@ -71,7 +89,7 @@ enum class PushOutcome : std::uint8_t { kAccepted, kRefused, kTimedOut };
 
 class JobQueue {
  public:
-  /// `capacity` > 0: push() blocks while that many jobs are queued.
+  /// `capacity` > 0: push() blocks while that many live jobs are queued.
   /// `policy.max_queue_wait` > 0 bounds that blocking (see push()).
   /// A non-null `metrics` registers the queue's series there (depth gauge,
   /// push/pop wait histograms, per-outcome counters); null costs nothing.
@@ -91,7 +109,7 @@ class JobQueue {
   /// Non-blocking push: false when full, closed or group-cancelled.
   bool try_push(Job job);
 
-  /// Blocks while empty.  Returns the highest-priority job, or nullopt
+  /// Blocks while empty.  Returns the highest-ranked live job, or nullopt
   /// once the queue is closed and fully drained.
   std::optional<Job> pop();
 
@@ -102,11 +120,13 @@ class JobQueue {
   /// Refuse further pushes and wake all waiters; queued jobs stay poppable.
   void close();
 
-  /// Remove every still-queued job of `group` (0 is ungrouped and a no-op)
-  /// and remember the group as cancelled: later pushes of its jobs are
-  /// refused, so a producer mid-submission cannot resurrect it.  Jobs of
-  /// the group already popped are unaffected.  Returns the removed jobs so
-  /// the caller can record their outcomes.
+  /// Mark every still-queued job of `group` (0 is ungrouped and a no-op)
+  /// dead — lazily: entries stay in the heap and pop() discards them as
+  /// they surface — and remember the group as cancelled: later pushes of
+  /// its jobs are refused, so a producer mid-submission cannot resurrect
+  /// it.  Jobs of the group already popped are unaffected.  Returns the
+  /// removed jobs (in submission order) so the caller can record their
+  /// outcomes.
   std::vector<Job> cancel_pending(std::uint64_t group);
 
   /// Evict `group`'s cancellation tombstone.  Call once the last job of
@@ -120,36 +140,49 @@ class JobQueue {
   /// Tombstones currently resident — a long-lived queue must keep this
   /// bounded (regression-tested).
   [[nodiscard]] std::size_t cancelled_group_count() const;
+  /// Live (poppable) jobs; dead entries are excluded.
   [[nodiscard]] std::size_t size() const;
+  /// Cancelled entries still physically in the heap, awaiting lazy
+  /// eviction by pop().  Observable so tests can prove cancellation did
+  /// NOT rebuild the heap.
+  [[nodiscard]] std::size_t dead_entries() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const QueuePolicy& policy() const { return policy_; }
 
  private:
   struct Entry {
-    std::int32_t priority;
+    double rank;  // priority + aging credit; time-invariant, set at push
     std::uint64_t sequence;
+    bool dead;  // lazily cancelled: pop() discards instead of returning
     Job job;
   };
   struct EntryOrder {
-    // std::priority_queue is a max-heap: "less" means "pops later".
+    // Used with std::push_heap/pop_heap (max-heap): "less" = pops later.
     bool operator()(const Entry& a, const Entry& b) const {
-      if (a.priority != b.priority) return a.priority < b.priority;
+      if (a.rank != b.rank) return a.rank < b.rank;
       return a.sequence > b.sequence;  // earlier submission pops first
     }
   };
 
+  [[nodiscard]] double rank_of(const Job& job) const;
   PushOutcome push_locked(
       Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
       std::optional<std::chrono::steady_clock::time_point> deadline);
+  /// Purge dead entries sitting at the heap top so heap_.front() is live
+  /// whenever live_ > 0.
+  void drop_dead_top_locked();
+  Job take_top_locked();
   void note_depth_locked();
   void note_push_outcome(PushOutcome outcome, double wait_seconds);
 
   const std::size_t capacity_;
   const QueuePolicy policy_;
+  const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> heap_;
+  std::vector<Entry> heap_;  // managed with std::push_heap/std::pop_heap
+  std::size_t live_ = 0;     // heap_ entries with !dead
   std::unordered_set<std::uint64_t> cancelled_groups_;
   std::uint64_t next_sequence_ = 0;
   bool closed_ = false;

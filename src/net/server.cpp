@@ -1,7 +1,14 @@
 #include "net/server.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "batch/domain.h"
@@ -37,6 +44,12 @@ const char* state_name(bool queued, bool running) {
 
 Fields error_reply(const std::string& message) {
   return Fields{{"ok", "0"}, {"error", message}};
+}
+
+/// Overload answers carry refused=1 so clients can tell "back off and
+/// retry" apart from a hard failure.
+Fields refused_reply(const std::string& message) {
+  return Fields{{"ok", "0"}, {"refused", "1"}, {"error", message}};
 }
 
 /// Did this error text come from the cooperative cancel check
@@ -75,7 +88,25 @@ NeutralServer::NeutralServer(ServerOptions options)
       trace_(options_.trace_path.empty()
                  ? nullptr
                  : std::make_unique<obs::TraceLog>(options_.trace_path)),
-      engine_(instrumented(options_.engine, &metrics_, trace_.get())) {}
+      engine_(instrumented(options_.engine, &metrics_, trace_.get())) {
+  submissions_total_ = &metrics_.counter(
+      "neutral_submissions_total", "submissions accepted by the daemon");
+  submissions_refused_ = &metrics_.counter(
+      "neutral_submissions_refused_total",
+      "submissions refused by admission control (daemon or per-connection "
+      "in-flight bound)");
+  conn_total_ = &metrics_.counter("neutral_connections_total",
+                                  "TCP connections accepted");
+  conn_refused_ = &metrics_.counter(
+      "neutral_connections_refused_total",
+      "connections refused at the max_connections bound");
+  slow_reader_disconnects_ = &metrics_.counter(
+      "neutral_slow_reader_disconnects_total",
+      "connections dropped by the slow-reader policy (outbound buffer "
+      "overflow or write stall)");
+  conn_open_ =
+      &metrics_.gauge("neutral_connections_open", "TCP connections open");
+}
 
 NeutralServer::~NeutralServer() {
   request_shutdown();
@@ -100,11 +131,9 @@ std::uint16_t NeutralServer::start() {
 }
 
 void NeutralServer::request_shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
+  stopping_.store(true);
   cv_.notify_all();
+  wake_.signal();  // pull serve() out of epoll_wait
 }
 
 void NeutralServer::log(const std::string& line) {
@@ -113,120 +142,356 @@ void NeutralServer::log(const std::string& line) {
   std::fflush(stdout);
 }
 
+void NeutralServer::trace_connection(const char* event,
+                                     const Connection& conn,
+                                     const std::string& detail) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent span;
+  span.event = event;
+  span.job_id = conn.id;
+  span.label = "connection";
+  span.detail = detail;
+  trace_->record(span);
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
 void NeutralServer::serve() {
   NEUTRAL_REQUIRE(listener_ != nullptr, "call start() before serve()");
-  // The accept loop must NEVER skip the drain below — detached handler
-  // threads hold `this` — so a hard listener error converts into a
-  // shutdown instead of propagating past the teardown.
+  // A hard loop error converts into a shutdown instead of propagating past
+  // the teardown: every connection must be closed and the executor joined
+  // before serve() returns, whatever happened.
   try {
-    while (true) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_) break;
-      }
-      // The timeout is the shutdown latency bound: every blocking wait in
-      // the daemon polls `stopping_` at least this often.
-      std::optional<TcpStream> stream =
-          listener_->accept(std::chrono::milliseconds(200));
-      if (!stream.has_value()) continue;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_) break;
-        ++active_connections_;
-      }
-      try {
-        std::thread(&NeutralServer::handle_connection, this,
-                    std::move(*stream))
-            .detach();
-      } catch (...) {
-        // Thread exhaustion: undo the count the handler would have
-        // decremented, or the teardown wait below never reaches zero.
-        std::lock_guard<std::mutex> lock(mutex_);
-        --active_connections_;
-        throw;
-      }
-    }
+    set_nonblocking(listener_->fd());
+    poller_.add(listener_->fd(), /*read=*/true, /*write=*/false);
+    poller_.add(wake_.fd(), /*read=*/true, /*write=*/false);
+    event_loop();
+    poller_.remove(listener_->fd());
+    poller_.remove(wake_.fd());
   } catch (const std::exception& e) {
-    log(std::string("accept loop failed: ") + e.what());
+    log(std::string("event loop failed: ") + e.what());
     request_shutdown();
   }
   listener_->close();
-  // Handlers poll the stop flag on their read timeout; wait them out so no
-  // detached thread outlives the server object.
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return active_connections_ == 0; });
-  lock.unlock();
+  teardown_connections();
   if (executor_.joinable()) executor_.join();
   if (exporter_ != nullptr) exporter_->stop();
   log("neutrald stopped");
 }
 
-// ---------------------------------------------------------------------------
-// Connection handling
-// ---------------------------------------------------------------------------
-
-void NeutralServer::handle_connection(TcpStream stream) {
-  stream.set_read_timeout(std::chrono::milliseconds(250));
-  // A peer that stops reading must not pin this thread in send() forever
-  // (it would also pin shutdown, which waits for every handler to exit).
-  stream.set_write_timeout(std::chrono::seconds(10));
-  try {
-    std::string line;
-    while (true) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_) break;
+void NeutralServer::event_loop() {
+  std::vector<PollEvent> events;
+  while (!stopping_.load()) {
+    poller_.wait(events, next_timeout_ms());
+    for (const PollEvent& ev : events) {
+      if (ev.fd == wake_.fd()) {
+        wake_.drain();
+        continue;
       }
-      ReadStatus status;
-      try {
-        status = stream.read_line(line, options_.max_frame_bytes);
-      } catch (const Error& e) {
-        // Oversized or truncated frame: report, then drop the connection —
-        // the byte stream can no longer be re-framed safely.
-        stream.write_all(encode_frame(error_reply(e.what())));
-        break;
+      if (ev.fd == listener_->fd()) {
+        accept_ready();
+        continue;
       }
-      if (status == ReadStatus::kTimedOut) continue;
-      if (status == ReadStatus::kEof) break;
-      if (line.empty()) continue;  // tolerate blank keep-alive lines
-      Fields request;
-      try {
-        request = decode_frame(line);
-      } catch (const Error& e) {
-        stream.write_all(encode_frame(error_reply(e.what())));
-        break;  // desynced stream: close
+      const auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;  // closed earlier this pass
+      Connection& conn = *it->second;
+      // Readable data (a final request, or the EOF itself) is drained
+      // before honouring an error flag: EPOLLHUP arrives together with the
+      // peer's last bytes.
+      if (ev.writable && !conn.closed) flush(conn);
+      if (ev.readable && !conn.closed) drain_readable(conn);
+      if (ev.error && !conn.closed && !ev.readable) {
+        close_connection(conn, "socket error/hangup");
       }
-      if (!dispatch(stream, request)) break;
     }
-  } catch (const std::exception&) {
-    // Socket error (peer vanished mid-write): nothing to report to.
-  }
-  {
-    // Notify WHILE holding the lock: serve()'s teardown wait destroys the
-    // server right after it observes zero, so the notify must not touch
-    // members after the count is published.
-    std::lock_guard<std::mutex> lock(mutex_);
-    --active_connections_;
-    cv_.notify_all();
+    // Executor progress (wake_) and watcher/stall deadlines (timeout) both
+    // land here: pump every live watcher, then enforce the write-stall
+    // bound, then release memory for connections closed this pass.
+    pump_watchers();
+    check_stalls();
+    graveyard_.clear();
   }
 }
 
-bool NeutralServer::dispatch(TcpStream& stream, const Fields& request) {
+int NeutralServer::next_timeout_ms() const {
+  auto nearest = std::chrono::steady_clock::time_point::max();
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    if (conn->watcher.has_value() && conn->watcher->has_deadline) {
+      nearest = std::min(nearest, conn->watcher->deadline);
+    }
+    if (conn->stalled) {
+      nearest =
+          std::min(nearest, conn->stall_since + options_.write_stall_timeout);
+    }
+  }
+  if (nearest == std::chrono::steady_clock::time_point::max()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (nearest <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      nearest - now)
+                      .count() +
+                  1;
+  return static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+void NeutralServer::note_connections_open() {
+  conn_open_->set(static_cast<std::int64_t>(connections_.size()));
+}
+
+void NeutralServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listener_->fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE and friends: transient resource pressure — log and
+      // retry on the next readiness instead of killing the loop.
+      log(std::string("accept failed: ") + std::strerror(errno));
+      break;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      // Best-effort structured refusal (the socket is fresh, so the tiny
+      // frame virtually always fits the send buffer), then close.
+      const std::string frame = encode_frame(refused_reply(
+          "refused: server at max connections (" +
+          std::to_string(options_.max_connections) + ")"));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      conn_refused_->add();
+      log("connection refused (max_connections)");
+      continue;
+    }
+    if (options_.sndbuf_bytes > 0) {
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                         sizeof options_.sndbuf_bytes);
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->inflight = std::make_shared<std::atomic<std::int64_t>>(0);
+    poller_.add(fd, /*read=*/true, /*write=*/false);
+    conn_total_->add();
+    trace_connection("conn_open", *conn, "");
+    log("connection #" + std::to_string(conn->id) + " open");
+    connections_.emplace(fd, std::move(conn));
+    note_connections_open();
+  }
+}
+
+void NeutralServer::close_connection(Connection& conn,
+                                     const std::string& reason) {
+  if (conn.closed) return;
+  conn.closed = true;
+  conn.watcher.reset();
+  poller_.remove(conn.fd);
+  const auto it = connections_.find(conn.fd);
+  ::close(conn.fd);
+  trace_connection("conn_close", conn, reason);
+  log("connection #" + std::to_string(conn.id) + " closed (" + reason + ")");
+  // Park the object until the end of the loop pass: callers up the stack
+  // still hold a reference to it.
+  graveyard_.push_back(std::move(it->second));
+  connections_.erase(it);
+  note_connections_open();
+}
+
+void NeutralServer::disconnect_slow_reader(Connection& conn,
+                                           const std::string& why) {
+  slow_reader_disconnects_->add();
+  close_connection(conn, "slow reader: " + why);
+}
+
+void NeutralServer::flush(Connection& conn) {
+  if (conn.closed) return;
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      conn.stalled = false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: arm EPOLLOUT and start the stall clock — a
+      // peer that never drains trips check_stalls().
+      if (!conn.want_write) {
+        poller_.modify(conn.fd, /*read=*/!conn.read_eof, /*write=*/true);
+        conn.want_write = true;
+      }
+      if (!conn.stalled) {
+        conn.stalled = true;
+        conn.stall_since = std::chrono::steady_clock::now();
+      }
+      return;
+    }
+    close_connection(conn, "send failed");  // peer vanished mid-reply
+    return;
+  }
+  conn.stalled = false;
+  if (conn.want_write) {
+    poller_.modify(conn.fd, /*read=*/!conn.read_eof, /*write=*/false);
+    conn.want_write = false;
+  }
+  if (conn.close_after_flush) close_connection(conn, "flushed and done");
+}
+
+void NeutralServer::send_frame(Connection& conn, const Fields& frame) {
+  if (conn.closed) return;
+  conn.outbuf += encode_frame(frame);
+  flush(conn);
+  if (!conn.closed && conn.outbuf.size() > options_.max_outbound_bytes) {
+    disconnect_slow_reader(conn, "outbound buffer over " +
+                                     std::to_string(
+                                         options_.max_outbound_bytes) +
+                                     " bytes");
+  }
+}
+
+void NeutralServer::check_stalls() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->stalled &&
+        now - conn->stall_since >= options_.write_stall_timeout) {
+      expired.push_back(fd);
+    }
+  }
+  for (const int fd : expired) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    disconnect_slow_reader(*it->second, "write stalled");
+  }
+}
+
+void NeutralServer::drain_readable(Connection& conn) {
+  if (conn.read_eof) return;  // read interest already dropped
+  char chunk[4096];
+  while (!conn.closed) {
+    if (conn.inbuf.size() > options_.max_frame_bytes) {
+      // Consume complete frames before buffering more.  If the buffer is
+      // still over the bound afterwards the peer is abusing the stream:
+      // either one giant line (process_input answered and is closing) or
+      // pipelining past a streaming watcher faster than we will ever
+      // consume.
+      process_input(conn);
+      if (conn.closed) return;
+      if (conn.inbuf.size() > options_.max_frame_bytes) {
+        if (conn.watcher.has_value()) {
+          close_connection(conn, "inbound buffer overflow while streaming");
+        }
+        return;
+      }
+    }
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      // A connection already winding down (close_after_flush) has nothing
+      // left to answer; drop the bytes instead of buffering them.
+      if (!conn.close_after_flush) {
+        conn.inbuf.append(chunk, static_cast<std::size_t>(n));
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.read_eof = true;
+      // Drop read interest, or level-triggered epoll would report the EOF
+      // forever while a watcher keeps the connection open.
+      poller_.modify(conn.fd, /*read=*/false, conn.want_write);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(conn, "recv failed");
+    return;
+  }
+  process_input(conn);
+}
+
+void NeutralServer::maybe_close_after_eof(Connection& conn) {
+  if (!conn.read_eof || conn.closed || conn.watcher.has_value() ||
+      conn.close_after_flush) {
+    return;
+  }
+  if (!conn.inbuf.empty() && conn.inbuf.find('\n') == std::string::npos) {
+    // Mirror the blocking stream's contract: dying mid-frame is reported.
+    send_frame(conn, error_reply("connection closed mid-frame (partial "
+                                 "line)"));
+  }
+  if (conn.closed) return;
+  conn.close_after_flush = true;
+  if (conn.outbuf.empty()) close_connection(conn, "eof");
+}
+
+void NeutralServer::process_input(Connection& conn) {
+  // One request at a time, in arrival order.  While a watcher streams, the
+  // rest of the input stays buffered — the protocol is serial per
+  // connection, exactly as the thread-per-connection design was.
+  while (!conn.closed && !conn.close_after_flush &&
+         !conn.watcher.has_value()) {
+    const std::size_t nl = conn.inbuf.find('\n');
+    if (nl == std::string::npos) {
+      if (conn.inbuf.size() > options_.max_frame_bytes) {
+        send_frame(conn, error_reply(
+                             "frame exceeds " +
+                             std::to_string(options_.max_frame_bytes) +
+                             " bytes"));
+        if (!conn.closed) conn.close_after_flush = true;
+      }
+      break;
+    }
+    std::string line = conn.inbuf.substr(0, nl);
+    conn.inbuf.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // tolerate blank keep-alive lines
+    if (line.size() > options_.max_frame_bytes) {
+      send_frame(conn, error_reply("frame exceeds " +
+                                   std::to_string(options_.max_frame_bytes) +
+                                   " bytes"));
+      if (!conn.closed) conn.close_after_flush = true;
+      break;
+    }
+    Fields request;
+    try {
+      request = decode_frame(line);
+    } catch (const Error& e) {
+      // A stream that does not decode cannot be re-framed: report, close.
+      send_frame(conn, error_reply(e.what()));
+      if (!conn.closed) conn.close_after_flush = true;
+      break;
+    }
+    if (!dispatch_line(conn, request)) break;
+  }
+  if (!conn.closed && conn.close_after_flush && conn.outbuf.empty()) {
+    close_connection(conn, "request asked to close");
+    return;
+  }
+  maybe_close_after_eof(conn);
+}
+
+bool NeutralServer::dispatch_line(Connection& conn, const Fields& request) {
   // Every well-framed request gets a reply, whatever goes wrong inside —
   // a missing "op", a bad knob, or an unexpected exception all answer
-  // ok=0 and keep the connection; only transport errors drop it (thrown
-  // by write_all and handled by the connection loop).
+  // ok=0 and keep the connection.
   Fields reply;
   bool keep = true;
   try {
     const std::string& op = require_field(request, "op");
     if (op == "result" || op == "watch") {
-      return send_result(stream, request, /*stream_events=*/op == "watch");
+      start_watch(conn, request, /*stream_events=*/op == "watch");
+      return true;
     }
     if (op == "ping") {
       reply = Fields{{"ok", "1"}, {"server", "neutrald"}};
     } else if (op == "submit") {
-      reply = handle_submit(request);
+      reply = handle_submit(conn, request);
     } else if (op == "status") {
       reply = handle_status(request);
     } else if (op == "cancel") {
@@ -243,11 +508,168 @@ bool NeutralServer::dispatch(TcpStream& stream, const Fields& request) {
   } catch (const std::exception& e) {
     reply = error_reply(e.what());
   }
-  stream.write_all(encode_frame(reply));
+  send_frame(conn, reply);
+  if (!keep && !conn.closed) conn.close_after_flush = true;
   return keep;
 }
 
-Fields NeutralServer::handle_submit(const Fields& request) {
+void NeutralServer::start_watch(Connection& conn, const Fields& request,
+                                bool stream_events) {
+  std::shared_ptr<Submission> sub;
+  try {
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(field_int(request, "id", 0));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = submissions_.find(id);
+    NEUTRAL_REQUIRE(it != submissions_.end(),
+                    "unknown submission id " + std::to_string(id));
+    sub = it->second;
+  } catch (const Error& e) {
+    send_frame(conn, error_reply(e.what()));
+    return;  // semantic mistake: keep the connection
+  }
+  Watcher watcher;
+  watcher.sub = std::move(sub);
+  watcher.stream_events = stream_events;
+  const std::int64_t timeout_ms = field_int(request, "timeout_ms", 0);
+  if (timeout_ms > 0) {
+    watcher.has_deadline = true;
+    watcher.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  }
+  conn.watcher = std::move(watcher);
+  pump_watcher(conn);
+}
+
+void NeutralServer::pump_watchers() {
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->watcher.has_value()) fds.push_back(fd);
+  }
+  for (const int fd : fds) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    pump_watcher(*it->second);
+  }
+}
+
+void NeutralServer::pump_watcher(Connection& conn) {
+  if (conn.closed || !conn.watcher.has_value()) return;
+  Watcher& watcher = *conn.watcher;
+  std::vector<Event> fresh;
+  bool done = false;
+  Fields header;
+  std::vector<RemoteRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Submission& sub = *watcher.sub;
+    if (watcher.stream_events && sub.events.size() > watcher.next_event) {
+      fresh.assign(sub.events.begin() +
+                       static_cast<std::ptrdiff_t>(watcher.next_event),
+                   sub.events.end());
+      watcher.next_event = sub.events.size();
+    }
+    done = sub.state == State::kDone;
+    if (done) {
+      rows = sub.rows;
+      header = Fields{{"ok", "1"},
+                      {"id", std::to_string(sub.id)},
+                      {"status", sub.status}};
+      if (!sub.error.empty()) header["error"] = sub.error;
+    }
+  }
+  for (const Event& e : fresh) {
+    send_frame(conn,
+               Fields{{"event", "job"},
+                      {"label", e.label},
+                      {"status", e.status},
+                      {"seconds", format_double(e.seconds, "%.6g")},
+                      {"worker", std::to_string(e.worker)}});
+    if (conn.closed) return;
+  }
+  if (done) {
+    header["rows"] = std::to_string(rows.size());
+    send_frame(conn, header);
+    for (std::size_t i = 0; i < rows.size() && !conn.closed; ++i) {
+      const RemoteRow& r = rows[i];
+      Fields frame{{"row", std::to_string(i)},
+                   {"label", r.label},
+                   {"particles", std::to_string(r.particles)},
+                   {"tally", r.tally},
+                   {"scheme", r.scheme},
+                   {"layout", r.layout},
+                   {"events", std::to_string(r.events)},
+                   {"seconds", format_double(r.seconds, "%.6g")},
+                   {"checksum", format_double(r.checksum)},
+                   {"population", std::to_string(r.population)},
+                   {"status", r.status}};
+      if (!r.error.empty()) frame["error"] = r.error;
+      send_frame(conn, frame);
+    }
+    if (conn.closed) return;
+    conn.watcher.reset();
+    process_input(conn);  // pipelined requests buffered behind the watch
+    return;
+  }
+  if (stopping_.load()) {
+    send_frame(conn, error_reply("server is shutting down"));
+    conn.watcher.reset();
+    if (!conn.closed) {
+      conn.close_after_flush = true;
+      if (conn.outbuf.empty()) close_connection(conn, "shutdown");
+    }
+    return;
+  }
+  if (watcher.has_deadline &&
+      std::chrono::steady_clock::now() >= watcher.deadline) {
+    const std::uint64_t id = watcher.sub->id;
+    send_frame(conn, error_reply("pending: submission " + std::to_string(id) +
+                                 " not finished within timeout_ms"));
+    if (conn.closed) return;
+    conn.watcher.reset();
+    process_input(conn);
+  }
+}
+
+void NeutralServer::teardown_connections() {
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    if (conn->watcher.has_value()) {
+      conn->watcher.reset();
+      conn->outbuf +=
+          encode_frame(error_reply("server is shutting down"));
+    }
+    if (!conn->outbuf.empty()) {
+      // One best-effort non-blocking push; a peer that cannot take it now
+      // loses the tail, exactly like the old write-timeout did.
+      (void)::send(conn->fd, conn->outbuf.data(), conn->outbuf.size(),
+                   MSG_NOSIGNAL);
+    }
+    ::close(conn->fd);
+    trace_connection("conn_close", *conn, "server shutdown");
+  }
+  connections_.clear();
+  graveyard_.clear();
+  note_connections_open();
+}
+
+// ---------------------------------------------------------------------------
+// Request handlers
+// ---------------------------------------------------------------------------
+
+Fields NeutralServer::handle_submit(Connection& conn, const Fields& request) {
+  // Per-connection admission: a single client cannot monopolise the
+  // daemon-wide submission budget.
+  if (conn.inflight->load() >=
+      static_cast<std::int64_t>(options_.max_inflight_per_connection)) {
+    submissions_refused_->add();
+    return refused_reply(
+        "refused: connection has " +
+        std::to_string(options_.max_inflight_per_connection) +
+        " submissions in flight (per-connection bound)");
+  }
+
   auto sub = std::make_shared<Submission>();
   const auto deck_it = request.find("deck");
   const auto spec_it = request.find("spec");
@@ -294,22 +716,25 @@ Fields NeutralServer::handle_submit(const Fields& request) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    NEUTRAL_REQUIRE(!stopping_, "server is shutting down");
+    NEUTRAL_REQUIRE(!stopping_.load(), "server is shutting down");
     std::size_t active = pending_.size();
     for (const auto& [id, existing] : submissions_) {
       active += existing->state == State::kRunning ? 1 : 0;
     }
-    NEUTRAL_REQUIRE(active < options_.max_pending_submissions,
-                    "submission queue full (" +
-                        std::to_string(options_.max_pending_submissions) +
-                        " in flight)");
+    if (active >= options_.max_pending_submissions) {
+      // Daemon-wide backpressure: a structured refusal, not an error — the
+      // client should back off and retry, not debug its deck.
+      submissions_refused_->add();
+      return refused_reply(
+          "refused: submission queue full (" +
+          std::to_string(options_.max_pending_submissions) + " in flight)");
+    }
     sub->id = next_id_++;
+    sub->owner_inflight = conn.inflight;
+    conn.inflight->fetch_add(1);
     submissions_.emplace(sub->id, sub);
     pending_.push_back(sub);
-    metrics_
-        .counter("neutral_submissions_total",
-                 "submissions accepted by the daemon")
-        .add();
+    submissions_total_->add();
     note_submissions_locked();
   }
   cv_.notify_all();
@@ -339,6 +764,14 @@ void NeutralServer::note_submissions_locked() {
       .gauge("neutral_submissions_pending",
              "submissions queued or running")
       .set(static_cast<std::int64_t>(active));
+}
+
+void NeutralServer::finish_locked(Submission& sub) {
+  sub.state = State::kDone;
+  if (sub.owner_inflight != nullptr) {
+    sub.owner_inflight->fetch_sub(1);
+    sub.owner_inflight.reset();
+  }
 }
 
 Fields NeutralServer::handle_status(const Fields& request) {
@@ -403,104 +836,6 @@ Fields NeutralServer::handle_cancel(const Fields& request) {
       {"ok", "1"}, {"id", std::to_string(id)}, {"state", state}};
 }
 
-bool NeutralServer::send_result(TcpStream& stream, const Fields& request,
-                                bool stream_events) {
-  std::shared_ptr<Submission> sub;
-  try {
-    const std::uint64_t id =
-        static_cast<std::uint64_t>(field_int(request, "id", 0));
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = submissions_.find(id);
-    NEUTRAL_REQUIRE(it != submissions_.end(),
-                    "unknown submission id " + std::to_string(id));
-    sub = it->second;
-  } catch (const Error& e) {
-    stream.write_all(encode_frame(error_reply(e.what())));
-    return true;
-  }
-
-  const std::int64_t timeout_ms = field_int(request, "timeout_ms", 0);
-  const auto wait_deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
-
-  std::size_t next_event = 0;
-  while (true) {
-    std::vector<Event> fresh;
-    bool done = false;
-    bool stopped = false;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      auto ready = [&] {
-        return stopping_ || sub->state == State::kDone ||
-               (stream_events && sub->events.size() > next_event);
-      };
-      if (timeout_ms > 0) {
-        if (!cv_.wait_until(lock, wait_deadline, ready)) {
-          lock.unlock();
-          stream.write_all(encode_frame(error_reply(
-              "pending: submission " + std::to_string(sub->id) +
-              " not finished within timeout_ms")));
-          return true;
-        }
-      } else {
-        cv_.wait(lock, ready);
-      }
-      if (stream_events) {
-        fresh.assign(sub->events.begin() +
-                         static_cast<std::ptrdiff_t>(next_event),
-                     sub->events.end());
-        next_event = sub->events.size();
-      }
-      done = sub->state == State::kDone;
-      stopped = stopping_ && !done;
-    }
-    for (const Event& e : fresh) {
-      stream.write_all(encode_frame(
-          Fields{{"event", "job"},
-                 {"label", e.label},
-                 {"status", e.status},
-                 {"seconds", format_double(e.seconds, "%.6g")},
-                 {"worker", std::to_string(e.worker)}}));
-    }
-    if (done) break;
-    if (stopped) {
-      stream.write_all(
-          encode_frame(error_reply("server is shutting down")));
-      return false;
-    }
-  }
-
-  // Final frames: header, then one row frame per result row.
-  std::vector<RemoteRow> rows;
-  Fields header{{"ok", "1"}, {"id", std::to_string(sub->id)}};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    rows = sub->rows;
-    header["status"] = sub->status;
-    if (!sub->error.empty()) header["error"] = sub->error;
-  }
-  header["rows"] = std::to_string(rows.size());
-  stream.write_all(encode_frame(header));
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const RemoteRow& r = rows[i];
-    Fields frame{{"row", std::to_string(i)},
-                 {"label", r.label},
-                 {"particles", std::to_string(r.particles)},
-                 {"tally", r.tally},
-                 {"scheme", r.scheme},
-                 {"layout", r.layout},
-                 {"events", std::to_string(r.events)},
-                 {"seconds", format_double(r.seconds, "%.6g")},
-                 {"checksum", format_double(r.checksum)},
-                 {"population", std::to_string(r.population)},
-                 {"status", r.status}};
-    if (!r.error.empty()) frame["error"] = r.error;
-    stream.write_all(encode_frame(frame));
-  }
-  return true;
-}
-
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -529,18 +864,19 @@ void NeutralServer::executor_loop() {
     std::shared_ptr<Submission> sub;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      cv_.wait(lock, [&] { return stopping_.load() || !pending_.empty(); });
       if (pending_.empty()) break;  // stopping and drained
       sub = pending_.front();
       pending_.pop_front();
-      if (stopping_ || sub->cancel->load()) {
-        sub->state = State::kDone;
+      if (stopping_.load() || sub->cancel->load()) {
         sub->status = "cancelled";
-        sub->error = stopping_ ? "server shutting down"
-                               : "cancelled before it started";
+        sub->error = stopping_.load() ? "server shutting down"
+                                      : "cancelled before it started";
+        finish_locked(*sub);
         evict_done_locked();
         note_submissions_locked();
         cv_.notify_all();
+        wake_.signal();
         continue;
       }
       sub->state = State::kRunning;
@@ -549,11 +885,12 @@ void NeutralServer::executor_loop() {
     execute(sub);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      sub->state = State::kDone;
+      finish_locked(*sub);
       evict_done_locked();
       note_submissions_locked();
     }
     cv_.notify_all();
+    wake_.signal();  // watchers of this submission live in the event loop
     log("done #" + std::to_string(sub->id) + " (" + sub->status + ")");
   }
 }
@@ -603,6 +940,7 @@ void NeutralServer::execute(const std::shared_ptr<Submission>& sub) {
                                     seconds, worker});
       }
       cv_.notify_all();
+      wake_.signal();  // stream the event to any watcher promptly
     };
 
     auto row_base = [](const Job& job) {

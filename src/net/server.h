@@ -1,4 +1,4 @@
-// neutrald's serving core: a TCP front-end for the batch engine.
+// neutrald's serving core: an event-loop TCP front-end for the batch engine.
 //
 // The PR 1–4 runtime (engine × shards × domains × schemes × layouts) is a
 // fork-join library: a caller builds jobs, blocks in BatchEngine::run, and
@@ -34,7 +34,21 @@
 // Errors answer {"ok":"0","error":...}.  A frame that does not decode at
 // all gets that error reply and the connection is closed (a desynced
 // byte stream cannot be re-framed); well-framed semantic mistakes keep
-// the connection.
+// the connection.  Overload answers {"ok":"0","refused":"1","error":...}
+// — a structured refusal a client can tell apart from a hard failure and
+// retry with backoff (see "overload semantics" in the README).
+//
+// Concurrency model: ONE epoll event loop (net/poller.h) owns every
+// connection — non-blocking sockets, per-connection bounded in/out
+// buffers, no thread per connection and nothing detached, so shutdown is
+// deterministic: the loop closes every registered fd and serve() joins
+// the executor before returning.  Slow readers cannot wedge the daemon:
+// replies buffer up to ServerOptions::max_outbound_bytes and then the
+// connection is dropped (likewise when a non-empty buffer makes no
+// progress for write_stall_timeout).  Admission control refuses work
+// early — max_connections at accept, per-connection in-flight caps and
+// the max_pending_submissions bound at submit — instead of queueing
+// towards a timeout.
 //
 // Execution model: submissions queue FIFO and one executor thread drains
 // them, so concurrent clients share the node the same way one CLI sweep
@@ -42,24 +56,28 @@
 // Deadlines come from EngineOptions::policy: max_queue_wait bounds queue
 // residence, max_run_wall bounds each run — an expired job completes as
 // `timed_out`, its group cancels like a failure, and the daemon keeps
-// serving.  A client `cancel` flips the submission's cooperative flag
-// (SimulationConfig::cancel), stopping in-flight work at the next
-// timestep/round boundary.
+// serving.  QueuePolicy::priority_aging (--priority-aging-ms) bounds
+// priority starvation inside each run's queue.  A client `cancel` flips
+// the submission's cooperative flag (SimulationConfig::cancel), stopping
+// in-flight work at the next timestep/round boundary.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "batch/engine.h"
 #include "net/frame.h"
+#include "net/poller.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 
@@ -74,17 +92,36 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back from start().
   std::uint16_t port = 0;
-  /// Engine shared by every connection (QueuePolicy deadlines ride here).
+  /// Engine shared by every connection (QueuePolicy deadlines and
+  /// priority aging ride here).
   batch::EngineOptions engine;
-  /// Reject frames longer than this (deck/spec payload bound).
+  /// Reject frames longer than this (deck/spec payload bound); also the
+  /// per-connection inbound buffer bound.
   std::size_t max_frame_bytes = 4u << 20;
-  /// Refuse new submissions while this many are queued or running.
+  /// Refuse new submissions while this many are queued or running
+  /// (structured `refused` reply — the daemon-wide admission bound).
   std::size_t max_pending_submissions = 64;
   /// Keep at most this many FINISHED submissions queryable; older results
   /// are evicted oldest-first.  The registry stays bounded no matter how
   /// long the daemon runs — the same lifetime discipline the queue's
   /// cancelled-group tombstones got.
   std::size_t max_retained_results = 256;
+  /// Refuse connections beyond this many open at once (a best-effort
+  /// `refused` frame is sent before the close).
+  std::size_t max_connections = 1024;
+  /// Refuse a connection's next submit while it already has this many
+  /// submissions queued or running (structured `refused` reply).
+  std::size_t max_inflight_per_connection = 16;
+  /// Slow-reader policy: per-connection outbound buffer bound.  A peer
+  /// that lets buffered replies exceed this is disconnected instead of
+  /// wedging the event loop's memory.
+  std::size_t max_outbound_bytes = 4u << 20;
+  /// Slow-reader policy: disconnect when a non-empty outbound buffer
+  /// makes zero progress for this long.
+  std::chrono::milliseconds write_stall_timeout{10000};
+  /// Test hook: when > 0, set SO_SNDBUF on accepted sockets so the
+  /// kernel's share of the outbound path is small and deterministic.
+  int sndbuf_bytes = 0;
   /// Per-request log lines on stdout.
   bool verbose = false;
   /// When non-zero, start() also binds a plain-HTTP Prometheus
@@ -93,7 +130,7 @@ struct ServerOptions {
   /// still works).
   std::uint16_t metrics_port = 0;
   /// When non-empty, open a JSONL TraceLog there and record every job's
-  /// lifecycle spans (src/obs/trace.h).
+  /// lifecycle spans plus connection open/close spans (src/obs/trace.h).
   std::string trace_path;
 };
 
@@ -121,8 +158,9 @@ class NeutralServer {
   /// Bind + listen and spawn the executor; returns the bound port.
   std::uint16_t start();
 
-  /// Accept loop; blocks until a shutdown request, then drains and joins
-  /// every thread before returning.  Call start() first.
+  /// Run the event loop; blocks until a shutdown request, then closes
+  /// every connection and joins the executor before returning.  Call
+  /// start() first.
   void serve();
 
   /// Ask serve() to wind down (idempotent; callable from any thread).
@@ -164,30 +202,90 @@ class NeutralServer {
     std::vector<RemoteRow> rows;
     std::shared_ptr<std::atomic<bool>> cancel =
         std::make_shared<std::atomic<bool>>(false);
+    /// The submitting connection's in-flight count; decremented exactly
+    /// once when the submission reaches kDone.  Shared so it outlives the
+    /// connection (a client may disconnect with work still queued).
+    std::shared_ptr<std::atomic<std::int64_t>> owner_inflight;
   };
 
-  void executor_loop();
-  void execute(const std::shared_ptr<Submission>& sub);
-  /// Drop the oldest finished submissions beyond max_retained_results.
-  /// Caller holds mutex_.
-  void evict_done_locked();
-  void handle_connection(TcpStream stream);
-  /// Dispatch one decoded request; returns false when the connection
-  /// should close (shutdown, or a streaming op that failed mid-write).
-  bool dispatch(TcpStream& stream, const Fields& request);
+  /// A `result`/`watch` in progress: the loop pumps frames to the client
+  /// as the executor publishes events, and processes no further input on
+  /// the connection until the submission finishes (requests stay buffered,
+  /// preserving the serial request/reply order of the protocol).
+  struct Watcher {
+    std::shared_ptr<Submission> sub;
+    std::size_t next_event = 0;
+    bool stream_events = false;
+    bool has_deadline = false;  ///< from timeout_ms
+    std::chrono::steady_clock::time_point deadline{};
+  };
 
-  Fields handle_submit(const Fields& request);
+  /// One event-loop-owned connection.  Touched only by the loop thread.
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string inbuf;
+    std::string outbuf;
+    bool want_write = false;       ///< EPOLLOUT currently armed
+    bool close_after_flush = false;
+    bool read_eof = false;         ///< peer half-closed; close once done
+    bool closed = false;           ///< fd released, entry awaiting reap
+    bool stalled = false;          ///< outbuf non-empty and kernel full
+    std::chrono::steady_clock::time_point stall_since{};
+    std::optional<Watcher> watcher;
+    /// Shared with each of this connection's submissions (see
+    /// Submission::owner_inflight).
+    std::shared_ptr<std::atomic<std::int64_t>> inflight;
+  };
+
+  // --- event loop (loop thread only) ---
+  void event_loop();
+  void accept_ready();
+  void drain_readable(Connection& conn);
+  void process_input(Connection& conn);
+  /// Dispatch one decoded request; returns false when the connection is
+  /// winding down (shutdown op).
+  bool dispatch_line(Connection& conn, const Fields& request);
+  void start_watch(Connection& conn, const Fields& request,
+                   bool stream_events);
+  /// Send any fresh watcher output; completes/aborts the watcher when the
+  /// submission is done, the deadline passed, or the server is stopping.
+  void pump_watcher(Connection& conn);
+  void pump_watchers();
+  void check_stalls();
+  /// Queue `frame` on the connection and flush opportunistically; applies
+  /// the slow-reader bound.
+  void send_frame(Connection& conn, const Fields& frame);
+  void flush(Connection& conn);
+  void disconnect_slow_reader(Connection& conn, const std::string& why);
+  void close_connection(Connection& conn, const std::string& reason);
+  void maybe_close_after_eof(Connection& conn);
+  /// epoll timeout to the nearest watcher/stall deadline (-1 = none).
+  [[nodiscard]] int next_timeout_ms() const;
+  void teardown_connections();
+  void note_connections_open();
+
+  // --- request handlers ---
+  Fields handle_submit(Connection& conn, const Fields& request);
   Fields handle_status(const Fields& request);
   Fields handle_cancel(const Fields& request);
   Fields handle_metrics();
   /// Refresh the submission gauges after any state change (lock held).
   void note_submissions_locked();
-  /// `result` / `watch`: optionally stream events, then the result header
-  /// and row frames.  Returns false when the connection must close.
-  bool send_result(TcpStream& stream, const Fields& request,
-                   bool stream_events);
+  /// Transition to kDone and release the owner's in-flight slot exactly
+  /// once (lock held).
+  void finish_locked(Submission& sub);
+
+  // --- executor ---
+  void executor_loop();
+  void execute(const std::shared_ptr<Submission>& sub);
+  /// Drop the oldest finished submissions beyond max_retained_results.
+  /// Caller holds mutex_.
+  void evict_done_locked();
 
   void log(const std::string& line);
+  void trace_connection(const char* event, const Connection& conn,
+                        const std::string& detail);
 
   ServerOptions options_;
   // Observability state precedes engine_: the ctor patches the engine
@@ -201,17 +299,32 @@ class NeutralServer {
   std::unique_ptr<obs::MetricsExporter> exporter_;
   std::uint16_t metrics_port_ = 0;
 
+  // Event-loop state (loop thread only, between start() and serve() end).
+  Poller poller_;
+  WakeupFd wake_;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  /// Connections closed mid-iteration park here until the end of the loop
+  /// pass, so references held by in-flight handlers stay valid.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  std::uint64_t next_conn_id_ = 1;
+
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::shared_ptr<Submission>> submissions_;
   std::deque<std::shared_ptr<Submission>> pending_;
   std::uint64_t next_id_ = 1;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
 
   std::thread executor_;
-  /// Handler threads run detached; serve() waits for this to hit zero
-  /// before returning, so the daemon never leaks a thread past shutdown.
-  std::size_t active_connections_ = 0;
+
+  // Resolved once in the ctor so every series exists (at zero) from the
+  // first scrape and the hot paths never look anything up by name.
+  obs::Counter* submissions_total_ = nullptr;
+  obs::Counter* submissions_refused_ = nullptr;
+  obs::Counter* conn_total_ = nullptr;
+  obs::Counter* conn_refused_ = nullptr;
+  obs::Counter* slow_reader_disconnects_ = nullptr;
+  obs::Gauge* conn_open_ = nullptr;
 };
 
 }  // namespace neutral::net

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -243,6 +244,14 @@ std::optional<TcpStream> TcpListener::accept(
     fail_errno("accept");
   }
   return TcpStream(client);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail_errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
 }
 
 }  // namespace neutral::net

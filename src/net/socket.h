@@ -1,15 +1,16 @@
-// Thin RAII wrappers over blocking POSIX TCP sockets.
+// Thin RAII wrappers over POSIX TCP sockets.
 //
-// neutrald serves line-delimited frames over plain blocking sockets — one
-// thread per connection, no event loop — because the daemon's unit of work
-// (a Monte Carlo solve) dwarfs any socket overhead, and blocking code is
-// the easiest to prove correct around shutdown.  The two affordances a
-// long-lived server actually needs are here instead:
+// The blocking TcpStream/TcpListener pair serves the *client* side
+// (NeutralClient, tests, the metrics exporter), where a thread per
+// conversation is the natural shape: reads carry timeouts so loops can
+// poll a stop flag instead of wedging in a syscall, and writes use
+// MSG_NOSIGNAL so a peer that vanished mid-reply surfaces as an Error
+// instead of killing the process with SIGPIPE.
 //
-//   * every blocking accept()/read can carry a timeout, so server loops
-//     poll a stop flag instead of wedging in a syscall forever, and
-//   * writes use MSG_NOSIGNAL, so a client that vanished mid-reply
-//     surfaces as an Error instead of killing the daemon with SIGPIPE.
+// neutrald's serving path is different: it runs a non-blocking epoll event
+// loop (net/poller.h, net/server.cpp) over raw fds it owns, so the only
+// extra affordances it needs from here are the listener's fd() and the
+// set_nonblocking() helper below.
 //
 // Loopback and real interfaces look identical from here; tests bind
 // 127.0.0.1 port 0 and read the ephemeral port back from the listener.
@@ -85,6 +86,10 @@ class TcpListener {
   /// The bound port (resolves port 0 requests).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// The listening fd, for event-loop registration (epoll).  The listener
+  /// keeps ownership; callers must not close it.
+  [[nodiscard]] int fd() const { return fd_; }
+
   /// Wait up to `timeout` for a connection; nullopt on timeout — the
   /// accept loop's chance to check its stop flag.  Throws on socket
   /// errors.
@@ -96,5 +101,8 @@ class TcpListener {
   int fd_ = -1;
   std::uint16_t port_ = 0;
 };
+
+/// Put `fd` into non-blocking mode (O_NONBLOCK); throws Error on failure.
+void set_nonblocking(int fd);
 
 }  // namespace neutral::net

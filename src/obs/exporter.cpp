@@ -10,6 +10,7 @@ namespace {
 constexpr std::chrono::milliseconds kAcceptPoll{200};
 constexpr std::chrono::milliseconds kIoTimeout{2000};
 constexpr std::size_t kMaxRequestLine = 8192;
+constexpr std::size_t kMaxHeaderLines = 128;
 
 std::string http_response(const std::string& status,
                           const std::string& body) {
@@ -67,15 +68,41 @@ void MetricsExporter::serve_loop() {
 void MetricsExporter::handle_connection(net::TcpStream stream) {
   stream.set_read_timeout(kIoTimeout);
   stream.set_write_timeout(kIoTimeout);
+  // write_all already loops over partial sends and retries EINTR, so the
+  // multi-kilobyte /metrics body survives small socket buffers; what this
+  // handler must add is the inbound bounds: a request line or header that
+  // would exceed kMaxRequestLine answers 413/431 instead of being read
+  // unboundedly (read_line throws once the buffer passes the cap), and the
+  // header block is capped at kMaxHeaderLines lines.
   std::string request_line;
-  if (stream.read_line(request_line, kMaxRequestLine) !=
-      net::ReadStatus::kLine) {
+  try {
+    if (stream.read_line(request_line, kMaxRequestLine) !=
+        net::ReadStatus::kLine) {
+      return;
+    }
+  } catch (const Error&) {
+    stream.write_all(http_response("413 Payload Too Large",
+                                   "request line too long\n"));
     return;
   }
-  // Drain the header block so well-behaved clients see a clean exchange.
+  // Drain the header block so well-behaved clients see a clean exchange —
+  // but never unboundedly: an oversized or endless header block gets 431.
   std::string header;
-  while (stream.read_line(header, kMaxRequestLine) == net::ReadStatus::kLine &&
-         !header.empty()) {
+  std::size_t header_lines = 0;
+  try {
+    while (stream.read_line(header, kMaxRequestLine) ==
+               net::ReadStatus::kLine &&
+           !header.empty()) {
+      if (++header_lines > kMaxHeaderLines) {
+        stream.write_all(http_response("431 Request Header Fields Too Large",
+                                       "too many header fields\n"));
+        return;
+      }
+    }
+  } catch (const Error&) {
+    stream.write_all(http_response("431 Request Header Fields Too Large",
+                                   "header line too long\n"));
+    return;
   }
   // "GET <path> HTTP/1.x"
   const std::size_t first_space = request_line.find(' ');

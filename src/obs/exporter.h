@@ -5,6 +5,11 @@
 // from one Prometheus is the entire load profile, so there is no reason to
 // carry a real HTTP stack.  Speaks just enough HTTP/1.0 for `curl` and the
 // Prometheus scraper: GET /metrics -> 200 text/plain; version=0.0.4.
+//
+// Robustness contract: responses survive partial writes and EINTR
+// (write_all loops), the listener sets SO_REUSEADDR so daemon restarts
+// don't trip over TIME_WAIT, and oversized requests are answered 413
+// (request line) / 431 (header block) instead of being read unboundedly.
 #pragma once
 
 #include <atomic>

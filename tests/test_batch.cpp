@@ -383,6 +383,134 @@ TEST(JobQueueTombstones, ForgetGroupKeepsTheCancelledSetBounded) {
   EXPECT_TRUE(queue.try_push(std::move(again)));
 }
 
+TEST(JobQueueTombstones, CancelPendingLeavesLazyTombstonesWithoutRebuild) {
+  // Regression for the O(n) heap rebuild: cancel_pending() used to copy
+  // every surviving entry into a fresh heap.  It now marks matching
+  // entries dead in place, so right after a cancel the dead entries are
+  // still *inside* the heap (lazily purged as they surface at the top).
+  // Sequential and timing-insensitive by construction.
+  JobQueue queue(64);
+  // Groups 1 and 3 at priority 5 (heap top), group 2 at priority 0
+  // (heap bottom) — so cancelling group 2 cannot be cleaned up by the
+  // drop-dead-top pass and MUST leave lazy tombstones behind.
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    Job job = job_with_priority(id, 5);
+    job.group = 1;
+    ASSERT_TRUE(queue.try_push(std::move(job)));
+  }
+  for (std::uint64_t id = 11; id <= 20; ++id) {
+    Job job = job_with_priority(id, 0);
+    job.group = 2;
+    ASSERT_TRUE(queue.try_push(std::move(job)));
+  }
+  for (std::uint64_t id = 21; id <= 30; ++id) {
+    Job job = job_with_priority(id, 5);
+    job.group = 3;
+    ASSERT_TRUE(queue.try_push(std::move(job)));
+  }
+  const std::vector<Job> removed = queue.cancel_pending(2);
+  // Removed jobs come back in submission order (the engine records them
+  // as cancelled outcomes in this order).
+  ASSERT_EQ(removed.size(), 10u);
+  for (std::size_t i = 0; i < removed.size(); ++i) {
+    EXPECT_EQ(removed[i].id, 11u + i);
+  }
+  EXPECT_EQ(queue.size(), 20u);
+  // The lazy-cancellation proof: tombstones are still physically in the
+  // heap (a rebuild would have dropped them all immediately).
+  EXPECT_EQ(queue.dead_entries(), 10u);
+  // Survivors drain in the exact order strict priority demands, skipping
+  // the dead entries as they surface.
+  queue.close();
+  for (std::uint64_t expect : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u}) {
+    EXPECT_EQ(queue.pop()->id, expect);
+  }
+  for (std::uint64_t expect = 21; expect <= 30; ++expect) {
+    EXPECT_EQ(queue.pop()->id, expect);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+  // Draining the live entries purged every tombstone on the way out.
+  EXPECT_EQ(queue.dead_entries(), 0u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Priority aging (QueuePolicy::priority_aging)
+// ---------------------------------------------------------------------------
+
+TEST(JobQueueAging, StrictPriorityProvablyStarvesUnderSaturation) {
+  // The failure mode aging exists to fix, demonstrated sequentially so it
+  // is a proof, not a race: with aging off, a priority-0 job queued FIRST
+  // still pops LAST behind every priority-9 job, no matter how long it
+  // has waited.
+  JobQueue queue(32);
+  ASSERT_TRUE(queue.try_push(job_with_priority(777, 0)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (std::uint64_t id = 1; id <= 31; ++id) {
+    ASSERT_TRUE(queue.try_push(job_with_priority(id, 9)));
+  }
+  queue.close();
+  for (std::uint64_t expect = 1; expect <= 31; ++expect) {
+    EXPECT_EQ(queue.pop()->id, expect);
+  }
+  EXPECT_EQ(queue.pop()->id, 777u);  // starved to the very end
+}
+
+TEST(JobQueueAging, AgedLowPriorityJobOvertakesYoungerHighPriority) {
+  // With --priority-aging-ms T, a queued job gains one effective priority
+  // level per T ms waited.  A priority-0 job that has waited > 9T beats a
+  // freshly queued priority 9.  The bound is oversleep-robust: sleeping
+  // LONGER only ages the low-priority job further.
+  QueuePolicy policy;
+  policy.priority_aging = std::chrono::milliseconds(10);
+  JobQueue queue(32, policy);
+  ASSERT_TRUE(queue.try_push(job_with_priority(777, 0)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));  // > 9 x 10ms
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(queue.try_push(job_with_priority(id, 9)));
+  }
+  queue.close();
+  EXPECT_EQ(queue.pop()->id, 777u);  // aged past every fresh nine
+  for (std::uint64_t expect = 1; expect <= 8; ++expect) {
+    EXPECT_EQ(queue.pop()->id, expect);  // nines stay FIFO among themselves
+  }
+}
+
+TEST(JobQueueAging, AgingBoundsPriorityZeroWaitUnderSaturatedNines) {
+  // Concurrent saturation: a producer floods priority-9 jobs through a
+  // small queue while a consumer drains it slowly.  A priority-9 job
+  // enqueued at time t has rank 9 - t/T; the priority-0 job enqueued at
+  // t~0 has rank ~0 — so only nines enqueued within the first 9T = 45ms
+  // can beat it.  With capacity 8 and a consumer that spends >= 2ms per
+  // pop, at most 8 + 45/2 ~ 31 jobs are enqueued in that window; assert
+  // the generous bound 50.  A slower machine only shrinks the window's
+  // throughput, so the test cannot flake slow.
+  QueuePolicy policy;
+  policy.priority_aging = std::chrono::milliseconds(5);
+  JobQueue queue(8, policy);
+  constexpr std::uint64_t kNines = 200;
+  ASSERT_TRUE(queue.try_push(job_with_priority(777, 0)));
+  std::thread producer([&] {
+    for (std::uint64_t id = 1; id <= kNines; ++id) {
+      ASSERT_EQ(queue.push(job_with_priority(id, 9)),
+                PushOutcome::kAccepted);
+    }
+    queue.close();
+  });
+  std::size_t position = 0;
+  std::size_t zero_at = 0;
+  while (auto job = queue.pop()) {
+    ++position;
+    if (job->id == 777u) zero_at = position;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  producer.join();
+  EXPECT_EQ(position, kNines + 1);  // everything drained
+  ASSERT_GT(zero_at, 0u);
+  EXPECT_LE(zero_at, 50u)
+      << "priority-0 job starved past the aging bound under p9 saturation";
+}
+
 TEST(Engine, EvictsGroupTombstonesOnceGroupsComplete) {
   // Engine wiring for the eviction: many failing groups in one run; every
   // job gets exactly one outcome (fail or cancelled), nothing hangs, and

@@ -5,8 +5,10 @@
 // concurrent clients sharing one world cache.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -407,6 +409,227 @@ TEST(NetServer, SubmitRejectsBadDecksSpecsAndKnobs) {
   good.deck_text = format_deck(tiny_deck(100));
   good.threads = 1;
   EXPECT_EQ(client.wait(client.submit(good)).status, "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop hardening: shutdown under churn, admission control, slow readers
+// ---------------------------------------------------------------------------
+
+TEST(NetServer, ShutdownUnderConnectChurnIsDeterministic) {
+  // Regression for the detached handler-thread lifetime hazard: the old
+  // front-end detached a thread per connection, so destroying the server
+  // while clients were connecting raced handler threads against dead
+  // server state (ASan catches the use-after-free).  The event loop owns
+  // every connection, so construct/destroy under concurrent connect churn
+  // must be clean every round.
+  for (int round = 0; round < 6; ++round) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint16_t> port{0};
+    std::vector<std::thread> churn;
+    for (int t = 0; t < 4; ++t) {
+      churn.emplace_back([&, t] {
+        while (!stop.load()) {
+          try {
+            net::TcpStream raw =
+                net::TcpStream::connect("127.0.0.1", port.load());
+            if (t % 2 == 0) {
+              raw.write_all(net::encode_frame(Fields{{"op", "ping"}}));
+              std::string line;
+              (void)raw.read_line(line, 1 << 16);
+            }
+            // else: connect and vanish without a single byte.
+          } catch (const std::exception&) {
+            // Refusals/resets mid-shutdown (or before start) are expected;
+            // keep churning.
+          }
+        }
+      });
+    }
+    {
+      TestServer server;
+      port.store(server.port());
+      // Let the churn overlap the server's whole lifetime...
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      // ...then ~TestServer tears it down WHILE churn threads connect.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true);
+    for (std::thread& t : churn) t.join();
+  }
+}
+
+TEST(NetServer, MaxConnectionsRefusesWithAStructuredFrame) {
+  ServerOptions options;
+  options.max_connections = 1;
+  TestServer server(options);
+
+  NeutralClient first = server.connect();
+  first.ping();  // the loop has registered connection #1
+
+  // Connection #2 is refused with a parseable frame, then closed.
+  net::TcpStream second = net::TcpStream::connect("127.0.0.1", server.port());
+  std::string line;
+  ASSERT_EQ(second.read_line(line, 1 << 16), net::ReadStatus::kLine);
+  const Fields reply = net::decode_frame(line);
+  EXPECT_EQ(reply.at("ok"), "0");
+  EXPECT_EQ(reply.at("refused"), "1");
+  EXPECT_NE(reply.at("error").find("max connections"), std::string::npos);
+  EXPECT_EQ(second.read_line(line, 1 << 16), net::ReadStatus::kEof);
+
+  // The admitted connection is unharmed, and the freed slot is reusable.
+  first.ping();
+  const Fields metrics = first.metrics();
+  EXPECT_EQ(metrics.at("neutral_connections_refused_total"), "1");
+}
+
+TEST(NetServer, SubmitBackpressureAnswersRefusedNotError) {
+  ServerOptions options;
+  options.max_pending_submissions = 1;
+  TestServer server(options);
+  NeutralClient client = server.connect();
+
+  SubmitRequest slow;
+  slow.deck_text = format_deck(tiny_deck(2000, 2000));
+  slow.threads = 1;
+  const std::uint64_t id = client.submit(slow);
+
+  // A second submission over a raw connection sees the structured refusal
+  // frame — refused=1 distinguishes "back off and retry" from "your deck
+  // is broken".
+  net::TcpStream raw = net::TcpStream::connect("127.0.0.1", server.port());
+  raw.write_all(net::encode_frame(Fields{{"op", "submit"},
+                                         {"deck", format_deck(tiny_deck(100))},
+                                         {"threads", "1"}}));
+  std::string line;
+  ASSERT_EQ(raw.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  const Fields reply = net::decode_frame(line);
+  EXPECT_EQ(reply.at("ok"), "0");
+  EXPECT_EQ(reply.at("refused"), "1");
+  EXPECT_NE(reply.at("error").find("queue full"), std::string::npos);
+
+  // The refusal did not poison anything: cancel the hog and the same
+  // connection's next submit is accepted.
+  client.cancel(id);
+  ASSERT_EQ(client.wait(id).status, "cancelled");
+  raw.write_all(net::encode_frame(Fields{{"op", "submit"},
+                                         {"deck", format_deck(tiny_deck(100))},
+                                         {"threads", "1"}}));
+  ASSERT_EQ(raw.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  EXPECT_EQ(net::decode_frame(line).at("ok"), "1");
+}
+
+TEST(NetServer, PerConnectionInflightCapRefusesOnlyTheHog) {
+  ServerOptions options;
+  options.max_inflight_per_connection = 1;
+  TestServer server(options);
+
+  // One raw connection so both submits share an in-flight counter.
+  net::TcpStream hog = net::TcpStream::connect("127.0.0.1", server.port());
+  std::string line;
+  hog.write_all(net::encode_frame(Fields{{"op", "submit"},
+                                         {"deck",
+                                          format_deck(tiny_deck(2000, 2000))},
+                                         {"threads", "1"}}));
+  ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  const Fields accepted = net::decode_frame(line);
+  ASSERT_EQ(accepted.at("ok"), "1");
+  const std::string id = accepted.at("id");
+
+  hog.write_all(net::encode_frame(Fields{{"op", "submit"},
+                                         {"deck", format_deck(tiny_deck(100))},
+                                         {"threads", "1"}}));
+  ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  const Fields refused = net::decode_frame(line);
+  EXPECT_EQ(refused.at("ok"), "0");
+  EXPECT_EQ(refused.at("refused"), "1");
+  EXPECT_NE(refused.at("error").find("in flight"), std::string::npos);
+
+  // The cap is per connection: a different client is admitted while the
+  // hog is still at its bound.
+  NeutralClient other = server.connect();
+  SubmitRequest quick;
+  quick.deck_text = format_deck(tiny_deck(100));
+  quick.threads = 1;
+  EXPECT_EQ(other.wait(other.submit(quick)).status, "ok");
+
+  // Finishing (here: cancelling) the hog's submission releases its slot.
+  hog.write_all(net::encode_frame(Fields{{"op", "cancel"}, {"id", id}}));
+  ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  ASSERT_EQ(net::decode_frame(line).at("ok"), "1");
+  hog.write_all(
+      net::encode_frame(Fields{{"op", "result"}, {"id", id}}));
+  // Drain the result header + any row frames for the cancelled submission.
+  ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  const Fields header = net::decode_frame(line);
+  ASSERT_EQ(header.at("ok"), "1");
+  for (int rows = std::stoi(header.at("rows")); rows > 0; --rows) {
+    ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  }
+  hog.write_all(net::encode_frame(Fields{{"op", "submit"},
+                                         {"deck", format_deck(tiny_deck(100))},
+                                         {"threads", "1"}}));
+  ASSERT_EQ(hog.read_line(line, 1 << 20), net::ReadStatus::kLine);
+  EXPECT_EQ(net::decode_frame(line).at("ok"), "1");
+}
+
+TEST(NetServer, SlowReaderIsDroppedWhileOtherClientsStayBitIdentical) {
+  // Slow-reader policy: a client that submits, asks to watch, and then
+  // stops reading must be disconnected once its buffered replies pass
+  // max_outbound_bytes — it cannot wedge the loop or hold memory forever.
+  ServerOptions options;
+  options.sndbuf_bytes = 4096;          // shrink the kernel's share
+  options.max_outbound_bytes = 32768;   // the policy under test
+  TestServer server(options);
+
+  // A reply far larger than everything the kernel+client can buffer with
+  // a 4 KiB server send buffer: the label is echoed into the event and
+  // row frames, so this submission's watch output cannot fit and MUST
+  // strand >32 KiB in the server-side outbound buffer.
+  net::TcpStream slow = net::TcpStream::connect("127.0.0.1", server.port());
+  Fields submit{{"op", "submit"},
+                {"deck", format_deck(tiny_deck(100))},
+                {"threads", "1"},
+                {"label", std::string(512 * 1024, 'x')}};
+  slow.write_all(net::encode_frame(submit));
+  std::string line;
+  ASSERT_EQ(slow.read_line(line, 4u << 20), net::ReadStatus::kLine);
+  const Fields accepted = net::decode_frame(line);
+  ASSERT_EQ(accepted.at("ok"), "1");
+  slow.write_all(net::encode_frame(
+      Fields{{"op", "watch"}, {"id", accepted.at("id")}}));
+  // ... and never read another byte.
+
+  // Meanwhile a well-behaved client gets its result, bit-identical to an
+  // in-process run of the same configuration.
+  NeutralClient good = server.connect();
+  SubmitRequest request;
+  request.deck_text = format_deck(tiny_deck(400));
+  request.threads = 1;
+  const RemoteResult result = good.wait(good.submit(request));
+  ASSERT_EQ(result.status, "ok") << result.error;
+  SimulationConfig config;
+  config.deck = tiny_deck(400);
+  config.threads = 1;
+  Simulation sim(config);
+  EXPECT_EQ(result.rows[0].checksum, sim.run().tally_checksum);
+
+  // The slow reader is gone within the bound: blank keep-alive lines
+  // (skipped by the framing layer) start failing once the server has
+  // closed the connection.
+  bool disconnected = false;
+  for (int i = 0; i < 160 && !disconnected; ++i) {
+    try {
+      slow.write_all("\n");
+    } catch (const Error&) {
+      disconnected = true;
+    }
+    if (!disconnected) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(disconnected) << "slow reader was never disconnected";
+  const Fields metrics = good.metrics();
+  EXPECT_GE(std::stoull(metrics.at("neutral_slow_reader_disconnects_total")),
+            1ull);
+  EXPECT_EQ(metrics.at("neutral_connections_open"), "1");  // slow one reaped
 }
 
 TEST(NetServer, MetricsOpReportsQueueCacheAndOutcomeSeries) {

@@ -360,6 +360,64 @@ TEST(MetricsExporter, ServesPrometheusTextOverHttp) {
   exporter.stop();  // idempotent
 }
 
+TEST(MetricsExporter, OversizedRequestsGet413And431NotUnboundedReads) {
+  // Regression for the unbounded-read bug: a request line or header block
+  // longer than the 8 KiB cap used to be buffered without limit.  Now the
+  // request line answers 413 and the header block 431, and the exporter
+  // keeps serving afterwards.
+  MetricsRegistry registry;
+  registry.counter("neutral_scraped_total", "scrapes").add(1);
+  obs::MetricsExporter exporter(&registry, "127.0.0.1", 0);
+  const std::uint16_t port = exporter.start();
+
+  // The server answers and then closes with part of our oversized request
+  // still unread, which surfaces client-side as a reset once the status
+  // line is through — keep whatever arrived before the reset.
+  const auto lossy_get = [port](const std::string& request) {
+    net::TcpStream stream = net::TcpStream::connect("127.0.0.1", port);
+    stream.set_read_timeout(std::chrono::milliseconds(5000));
+    std::string response;
+    try {
+      stream.write_all(request);
+      std::string line;
+      while (stream.read_line(line, 1u << 20) == net::ReadStatus::kLine) {
+        response += line;
+        response += "\n";
+      }
+    } catch (const Error&) {
+    }
+    return response;
+  };
+
+  const std::string long_line =
+      "GET /" + std::string(16 * 1024, 'a') + " HTTP/1.0\r\n\r\n";
+  const std::string too_long = lossy_get(long_line);
+  EXPECT_NE(too_long.find("413 Payload Too Large"), std::string::npos);
+
+  const std::string big_header =
+      "GET /metrics HTTP/1.0\r\nX-Junk: " + std::string(16 * 1024, 'b') +
+      "\r\n\r\n";
+  const std::string oversized_header = lossy_get(big_header);
+  EXPECT_NE(oversized_header.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+
+  std::string many_headers = "GET /metrics HTTP/1.0\r\n";
+  for (int i = 0; i < 200; ++i) {
+    many_headers += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  many_headers += "\r\n";
+  const std::string endless = lossy_get(many_headers);
+  EXPECT_NE(endless.find("431 Request Header Fields Too Large"),
+            std::string::npos);
+
+  // None of that wedged the exporter: a clean scrape still works.
+  const std::string ok =
+      http_get(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("neutral_scraped_total 1"), std::string::npos);
+  exporter.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Bench record schema
 // ---------------------------------------------------------------------------
