@@ -239,7 +239,18 @@ int main(int argc, char** argv) {
         "tally-direct",
         "non-atomic tally deposits for single-threaded jobs "
         "(bit-identical; ignored at threads > 1); overrides the spec");
+    const bool fuse_rounds = cli.flag(
+        "fuse-rounds",
+        "fuse the Over Events search and handler kernels into one sweep "
+        "per round (bit-identical); overrides the spec when set");
+    const long pipeline_histories = cli.option_int(
+        "pipeline-histories", 1,
+        "software-pipeline K in-flight histories per thread in the "
+        "over-particles loop (bit-identical tallies; K >= 1); overrides "
+        "the spec when K > 1");
     if (!cli.finish()) return 0;
+    NEUTRAL_REQUIRE(pipeline_histories >= 1,
+                    "--pipeline-histories must be >= 1");
     NEUTRAL_REQUIRE(aging_ms >= 0, "--priority-aging-ms must be >= 0");
     options.policy.priority_aging = std::chrono::milliseconds(aging_ms);
     options.cache.max_bytes =
@@ -272,10 +283,12 @@ int main(int argc, char** argv) {
                       "--priority-aging-ms) configure the daemon; set them "
                       "when starting neutrald");
       NEUTRAL_REQUIRE(!rng_batch && !branchless_events && !sort_events &&
-                          !tally_direct,
+                          !tally_direct && !fuse_rounds &&
+                          pipeline_histories == 1,
                       "--connect submits the spec text verbatim; set the "
                       "rng_batch / branchless_events / sort_events / "
-                      "tally_direct keys in the spec instead");
+                      "tally_direct / fuse_rounds / pipeline_histories "
+                      "keys in the spec instead");
       const std::string spec_text =
           spec_path.empty() ? kDefaultSpec : read_file(spec_path);
       return run_remote(connect, spec_text, shards, domains, csv, quiet);
@@ -294,6 +307,11 @@ int main(int argc, char** argv) {
     if (branchless_events) spec.base.branchless_events = true;
     if (sort_events) spec.base.over_events.sort_events = true;
     if (tally_direct) spec.base.tally_direct = true;
+    if (fuse_rounds) spec.base.over_events.fuse_rounds = true;
+    if (pipeline_histories > 1) {
+      spec.base.pipeline_histories =
+          static_cast<std::int32_t>(pipeline_histories);
+    }
     const std::vector<Job> sweep_jobs = expand_sweep(spec);
     std::unique_ptr<obs::TraceLog> trace;
     if (!trace_log.empty()) {

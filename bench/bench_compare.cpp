@@ -95,11 +95,20 @@ Record load_record(const std::string& path) {
       lookup != nullptr && lookup->is(obs::JsonValue::Type::kString)
           ? lookup->string
           : "cached";
+  // fuse_rounds/pipeline_histories are optional even in v2 records;
+  // absence reads as "off", like the other flags in v1 records.
+  const obs::JsonValue* pipeline = run->find("pipeline_histories");
+  const int pipeline_histories =
+      pipeline != nullptr && pipeline->is(obs::JsonValue::Type::kNumber)
+          ? static_cast<int>(pipeline->number)
+          : 1;
   record.config = "lookup=" + lookup_name +
                   " rng_batch=" + std::to_string(flag("rng_batch")) +
                   " branchless=" + std::to_string(flag("branchless_events")) +
                   " sort=" + std::to_string(flag("sort_events")) +
-                  " tally_direct=" + std::to_string(flag("tally_direct"));
+                  " tally_direct=" + std::to_string(flag("tally_direct")) +
+                  " fuse=" + std::to_string(flag("fuse_rounds")) +
+                  " pipeline=" + std::to_string(pipeline_histories);
   for (const obs::JsonValue& r : doc.find("results")->array) {
     Row row;
     row.deck = string_field(r, "deck");

@@ -170,11 +170,19 @@ int main(int argc, char** argv) {
     bool tally_direct = cli.flag(
         "tally-direct",
         "non-atomic tally deposits at one thread (bit-identical)");
+    bool fuse_rounds = cli.flag(
+        "fuse-rounds",
+        "fused Over Events search+handler sweep (bit-identical)");
+    long pipeline_histories = cli.option_int(
+        "pipeline-histories", 1,
+        "K in-flight histories per thread in the Over Particles loop "
+        "(bit-identical tallies; K >= 1, 1 = off)");
     const bool all_opts = cli.flag(
         "all-opts",
         "shorthand for --lookup unionised --rng-batch --branchless-events "
-        "--sort-events --tally-direct (the configuration the optimised "
-        "record commits)");
+        "--sort-events --tally-direct --fuse-rounds "
+        "--pipeline-histories 4 (the configuration the optimised record "
+        "commits)");
     const bool no_phases = cli.flag(
         "no-phases",
         "skip the separate profiled pass (faster; record has empty phase "
@@ -189,7 +197,11 @@ int main(int argc, char** argv) {
     if (all_opts) {
       lookup = XsLookup::kUnionised;
       rng_batch = branchless_events = sort_events = tally_direct = true;
+      fuse_rounds = true;
+      if (pipeline_histories == 1) pipeline_histories = 4;
     }
+    NEUTRAL_REQUIRE(pipeline_histories >= 1,
+                    "--pipeline-histories must be >= 1");
 
     const HostInfo host = probe_host();
     obs::BenchDocument doc;
@@ -203,6 +215,8 @@ int main(int argc, char** argv) {
     doc.branchless_events = branchless_events;
     doc.sort_events = sort_events;
     doc.tally_direct = tally_direct;
+    doc.fuse_rounds = fuse_rounds;
+    doc.pipeline_histories = static_cast<std::int32_t>(pipeline_histories);
 
     const double ghz = PhaseProfiler::tsc_ghz();
     std::printf("# bench_transport — perf trajectory record\n");
@@ -215,10 +229,12 @@ int main(int argc, char** argv) {
     std::printf("# particles=%ld repeats=%d threads=%d tsc=%.2f GHz\n",
                 particles, repeats, threads, ghz);
     std::printf("# config: lookup=%s rng_batch=%d branchless_events=%d "
-                "sort_events=%d tally_direct=%d\n",
+                "sort_events=%d tally_direct=%d fuse_rounds=%d "
+                "pipeline_histories=%ld\n",
                 to_string(lookup), rng_batch ? 1 : 0,
                 branchless_events ? 1 : 0, sort_events ? 1 : 0,
-                tally_direct ? 1 : 0);
+                tally_direct ? 1 : 0, fuse_rounds ? 1 : 0,
+                pipeline_histories);
 
     ResultTable table("bench_transport",
                       {"deck", "scheme", "layout", "particles", "events",
@@ -241,6 +257,9 @@ int main(int argc, char** argv) {
           config.rng_batch = rng_batch;
           config.branchless_events = branchless_events;
           config.over_events.sort_events = sort_events;
+          config.over_events.fuse_rounds = fuse_rounds;
+          config.pipeline_histories =
+              static_cast<std::int32_t>(pipeline_histories);
           config.tally_direct = tally_direct;
           config.profile = false;  // probes would dilute the timings
           RunResult best;

@@ -2,7 +2,10 @@
 
 #include <omp.h>
 
+#include <vector>
+
 #include "core/step.h"
+#include "core/tally.h"
 #include "runtime/timer.h"
 #include "util/error.h"
 
@@ -84,57 +87,58 @@ inline void store_fs(OverEventsWorkspace& ws, std::size_t i,
 /// The simd variant requests vectorisation with `omp for simd`; the scalar
 /// variant compiles with auto-vectorisation disabled so the Fig 8
 /// comparison measures a genuinely unvectorised baseline.
-template <class Body>
+template <class MakeHooks, class Body>
 void masked_foreach_simd(std::int64_t n,
                          aligned_vector<Padded<EventCounters>>& counters,
-                         Body body) {
+                         MakeHooks make_hooks, Body body) {
 #pragma omp parallel
   {
     const std::int32_t t = omp_get_thread_num();
     EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+    auto hooks = make_hooks(t);
 #pragma omp for simd schedule(static)
-    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t);
+    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t, hooks);
   }
 }
 
-template <class Body>
+template <class MakeHooks, class Body>
 #if defined(__GNUC__) && !defined(__clang__)
 __attribute__((optimize("no-tree-vectorize")))
 #endif
 void masked_foreach_scalar(std::int64_t n,
                            aligned_vector<Padded<EventCounters>>& counters,
-                           Body body) {
+                           MakeHooks make_hooks, Body body) {
 #pragma omp parallel
   {
     const std::int32_t t = omp_get_thread_num();
     EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+    auto hooks = make_hooks(t);
 #pragma omp for schedule(static)
-    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t);
+    for (std::int64_t i = 0; i < n; ++i) body(i, ec, t, hooks);
   }
 }
 
-template <bool Simd, class Body>
+template <bool Simd, class MakeHooks, class Body>
 void masked_foreach(std::int64_t n,
                     aligned_vector<Padded<EventCounters>>& counters,
-                    Body body) {
+                    MakeHooks make_hooks, Body body) {
   if constexpr (Simd) {
-    masked_foreach_simd(n, counters, body);
+    masked_foreach_simd(n, counters, make_hooks, body);
   } else {
-    masked_foreach_scalar(n, counters, body);
+    masked_foreach_scalar(n, counters, make_hooks, body);
   }
 }
 
-template <class View>
+template <class View, class MakeHooks>
 EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
                     const OverEventsOptions& opt, OverEventsWorkspace& ws,
-                    OverEventsKernelTimes* times) {
+                    OverEventsKernelTimes* times, MakeHooks make_hooks) {
   NEUTRAL_REQUIRE(ws.size() == v.size(),
                   "workspace must be sized to the particle container");
   const auto n = static_cast<std::int64_t>(v.size());
   const std::int32_t max_threads = omp_get_max_threads();
   aligned_vector<Padded<EventCounters>> counters(
       static_cast<std::size_t>(max_threads));
-  NoHooks hooks;
 
   // Event-sorted traversal: run a handler over a dense slice of
   // ws.event_order_ instead of masking across the whole population.
@@ -146,11 +150,12 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     {
       const std::int32_t t = omp_get_thread_num();
       EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+      auto hooks = make_hooks(t);
 #pragma omp for schedule(static)
       for (std::int64_t k = 0; k < static_cast<std::int64_t>(count); ++k) {
         body(static_cast<std::int64_t>(
                  ws.event_order_[begin + static_cast<std::size_t>(k)]),
-             ec, t);
+             ec, t, hooks);
       }
     }
   };
@@ -162,7 +167,7 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   {
     const std::int32_t t = omp_get_thread_num();
     EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
-    NoHooks hk;
+    auto hk = make_hooks(t);
 #pragma omp for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) {
       if (opt.wake_census && v.state(i) == ParticleState::kCensus) {
@@ -181,7 +186,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   // Kernel bodies shared by the masked and sorted traversals.
 
   // Kernel 1: event search — compute times-to-event, select, move.
-  auto search = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
+  auto search = [&](std::int64_t i, EventCounters& ec, std::int32_t,
+                    auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     if (v.state(u) != ParticleState::kAlive) {
       ws.next_event_[u] = kNoEvent;
@@ -198,7 +204,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   };
 
   // Kernel 2: collisions.
-  auto collide = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+  auto collide = [&](std::int64_t i, EventCounters& ec, std::int32_t t,
+                     auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCollision)) {
       return;
@@ -209,7 +216,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   };
 
   // Kernel 3: facets.
-  auto cross = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+  auto cross = [&](std::int64_t i, EventCounters& ec, std::int32_t t,
+                   auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kFacet)) {
       return;
@@ -225,7 +233,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   };
 
   // Kernel 4: census.
-  auto census = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+  auto census = [&](std::int64_t i, EventCounters& ec, std::int32_t t,
+                    auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     if (ws.next_event_[u] != static_cast<std::uint8_t>(EventType::kCensus)) {
       return;
@@ -242,7 +251,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   // so they load and store exactly those fields instead of round-tripping
   // all eight.  Untouched fields keep their stored values, and the fields
   // that are read carry the same bits, so the arithmetic is unchanged.
-  auto search_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t) {
+  auto search_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t,
+                         auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     if (v.state(u) != ParticleState::kAlive) {
       ws.next_event_[u] = kNoEvent;
@@ -263,14 +273,15 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   };
 
   auto collide_sorted = [&](std::int64_t i, EventCounters& ec,
-                            std::int32_t t) {
+                            std::int32_t t, auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     FlightState fs = load_fs<View>(ws, u);
     handle_collision(v, u, ctx, fs, ec, t, hooks);
     store_fs(ws, u, fs);
   };
 
-  auto cross_sorted = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+  auto cross_sorted = [&](std::int64_t i, EventCounters& ec, std::int32_t t,
+                          auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     FlightState fs = load_fs<View>(ws, u);
     FacetIntersection facet;
@@ -282,7 +293,8 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     store_fs(ws, u, fs);
   };
 
-  auto census_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t t) {
+  auto census_slim = [&](std::int64_t i, EventCounters& ec, std::int32_t t,
+                         auto& hooks) {
     const auto u = static_cast<std::size_t>(i);
     FlightState fs;
     fs.pending_deposit = ws.pending_[u];
@@ -290,6 +302,164 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     handle_census(v, u, ctx, fs, ec, t, hooks);
     ws.pending_[u] = fs.pending_deposit;
   };
+
+  if (opt.fuse_rounds) {
+    // Fused traversal: one sweep per round runs search -> handler per
+    // candidate with the FlightState still in registers, eliminating the
+    // store/reload of the eight streamed arrays between the search and
+    // handler kernels (and the counting sort between them).  Correctness
+    // rests on two facts:
+    //
+    //   * Handlers only mutate their own particle, the tally, and the
+    //     per-thread counters, so candidate B's search reads exactly the
+    //     state it would have read had all searches run before any
+    //     handler — fusion cannot change any sampled value.
+    //   * Tally deposit ORDER does change (handlers now interleave with
+    //     searches), and FP accumulation is order-sensitive.  So each
+    //     thread redirects its deposits into three per-event-kind lanes
+    //     (EnergyTally::set_deposit_sink) and replays them after the sweep
+    //     in the canonical [collisions | facets | censuses] segment order
+    //     the unfused kernels produce.  At one thread the replayed
+    //     sequence is identical deposit for deposit, so every checksum is
+    //     bit-identical (the same single-thread contract sort_events
+    //     documents; multi-thread atomic interleaving wobbles in either
+    //     mode).
+    //
+    // The per-thread EventCounters doubles need no such buffering: each
+    // field's addend sequence is already order-preserved under fusion
+    // (path_heating comes only from searches, the collision-energy fields
+    // only from collision handlers — both visit candidates ascending).
+    //
+    // Kernel-time attribution (the documented charging rule): a TSC read
+    // at the select_and_move return splits each candidate's cycles into
+    // event_search and its handler kind; the candidate compaction charges
+    // to event_search and the deposit replay + drain to tally.  The split
+    // costs two TSC reads per event, so it is gated on record_kernel_times
+    // (masked with `profile` by the Simulation layer for fused runs).
+    std::size_t n_cand = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (v.state(static_cast<std::size_t>(i)) == ParticleState::kAlive) {
+        ws.candidate_[n_cand++] = static_cast<std::int32_t>(i);
+      }
+    }
+    struct DepositLanes {
+      std::vector<PendingDeposit> lane[3];  // indexed by EventType
+    };
+    std::vector<Padded<DepositLanes>> lanes(
+        static_cast<std::size_t>(max_threads));
+    struct FusedCycles {
+      std::uint64_t by_kind[3] = {0, 0, 0};  // collision, facet, census
+      std::uint64_t search = 0;
+    };
+    std::vector<Padded<FusedCycles>> cycles(
+        static_cast<std::size_t>(max_threads));
+    const bool split_cycles = opt.record_kernel_times && times != nullptr;
+    double sweep_wall = 0.0;
+
+    while (n_cand != 0) {
+      WallTimer sweep_timer;
+#pragma omp parallel
+      {
+        const std::int32_t t = omp_get_thread_num();
+        EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+        auto hooks = make_hooks(t);
+        DepositLanes& dl = lanes[static_cast<std::size_t>(t)].value;
+        FusedCycles& fc = cycles[static_cast<std::size_t>(t)].value;
+#pragma omp for schedule(static)
+        for (std::int64_t k = 0; k < static_cast<std::int64_t>(n_cand); ++k) {
+          const auto u = static_cast<std::size_t>(
+              ws.candidate_[static_cast<std::size_t>(k)]);
+          // Candidates are alive by construction: the initial list filters
+          // on state, and the rebuild below drops anything a handler
+          // retired (death, census, migration).
+          const std::uint64_t c0 = split_cycles ? read_cycles() : 0;
+          FlightState fs = load_fs<View>(ws, u);
+          const EventSelection sel = select_and_move(v, u, ctx, fs, ec, hooks);
+          const std::uint64_t c1 = split_cycles ? read_cycles() : 0;
+          const auto kind = static_cast<std::size_t>(sel.event);
+          ctx.tally->set_deposit_sink(t, &dl.lane[kind]);
+          switch (sel.event) {
+            case EventType::kCollision:
+              handle_collision(v, u, ctx, fs, ec, t, hooks);
+              break;
+            case EventType::kFacet:
+              handle_facet(v, u, ctx, sel.facet, fs, ec, t, hooks);
+              break;
+            case EventType::kCensus:
+              handle_census(v, u, ctx, fs, ec, t, hooks);
+              break;
+          }
+          ctx.tally->set_deposit_sink(t, nullptr);
+          store_fs(ws, u, fs);
+          if (split_cycles) {
+            const std::uint64_t c2 = read_cycles();
+            fc.search += c1 - c0;
+            fc.by_kind[kind] += c2 - c1;
+          }
+        }
+      }
+
+      sweep_wall += sweep_timer.seconds();
+
+      // Replay the captured deposits in the canonical segment order, then
+      // run the separate tally drain (§VI-G) as usual.
+      WallTimer timer;
+#pragma omp parallel
+      {
+        const std::int32_t t = omp_get_thread_num();
+        DepositLanes& dl = lanes[static_cast<std::size_t>(t)].value;
+        for (auto& lane : dl.lane) {
+          ctx.tally->replay_deposits(lane, t);
+          lane.clear();
+        }
+      }
+      ctx.tally->drain_deferred();
+      if (times != nullptr) times->tally += timer.seconds();
+
+      // Next round's candidates: the survivors, in the same ascending
+      // order.  Serial compaction, charged to the search phase like the
+      // sorted mode's counting sort.
+      timer.restart();
+      std::size_t out = 0;
+      for (std::size_t k = 0; k < n_cand; ++k) {
+        const std::int32_t i = ws.candidate_[k];
+        if (v.state(static_cast<std::size_t>(i)) == ParticleState::kAlive) {
+          ws.candidate_[out++] = i;
+        }
+      }
+      n_cand = out;
+      if (times != nullptr) {
+        times->event_search += timer.seconds();
+        ++times->iterations;
+      }
+    }
+
+    if (split_cycles) {
+      // Apportion the measured sweep WALL time across the four phases by
+      // the per-candidate cycle split (per-thread TSC totals summed across
+      // threads would report CPU seconds, not wall seconds, at >1 thread;
+      // the ratio is thread-count invariant).  total() then still matches
+      // what a stopwatch would see, phase for phase, at any thread count.
+      FusedCycles sum;
+      for (const auto& c : cycles) {
+        sum.search += c.value.search;
+        for (int e = 0; e < 3; ++e) sum.by_kind[e] += c.value.by_kind[e];
+      }
+      const std::uint64_t total_cycles =
+          sum.search + sum.by_kind[0] + sum.by_kind[1] + sum.by_kind[2];
+      if (total_cycles > 0) {
+        const double per_cycle = sweep_wall / static_cast<double>(total_cycles);
+        times->event_search += static_cast<double>(sum.search) * per_cycle;
+        times->collisions += static_cast<double>(sum.by_kind[0]) * per_cycle;
+        times->facets += static_cast<double>(sum.by_kind[1]) * per_cycle;
+        times->census += static_cast<double>(sum.by_kind[2]) * per_cycle;
+      }
+    }
+
+    EventCounters total;
+    for (const auto& tc : counters) total += tc.value;
+    return total;
+  }
 
   if (opt.sort_events) {
     // Sorted + compacted traversal.  A live-candidate list — initially the
@@ -317,11 +487,12 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
       {
         const std::int32_t t = omp_get_thread_num();
         EventCounters& ec = counters[static_cast<std::size_t>(t)].value;
+        auto hooks = make_hooks(t);
 #pragma omp for schedule(static)
         for (std::int64_t k = 0; k < static_cast<std::int64_t>(n_cand); ++k) {
           search_slim(static_cast<std::int64_t>(
                           ws.candidate_[static_cast<std::size_t>(k)]),
-                      ec, t);
+                      ec, t, hooks);
         }
       }
 
@@ -417,9 +588,9 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
     }
     if (in_flight == 0) break;
     if (opt.simd_event_search) {
-      masked_foreach<true>(n, counters, search);
+      masked_foreach<true>(n, counters, make_hooks, search);
     } else {
-      masked_foreach<false>(n, counters, search);
+      masked_foreach<false>(n, counters, make_hooks, search);
     }
     if (times != nullptr) {
       times->event_search += timer.seconds();
@@ -428,22 +599,22 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
 
     timer.restart();
     if (opt.simd_collisions) {
-      masked_foreach<true>(n, counters, collide);
+      masked_foreach<true>(n, counters, make_hooks, collide);
     } else {
-      masked_foreach<false>(n, counters, collide);
+      masked_foreach<false>(n, counters, make_hooks, collide);
     }
     if (times != nullptr) times->collisions += timer.seconds();
 
     timer.restart();
     if (opt.simd_facets) {
-      masked_foreach<true>(n, counters, cross);
+      masked_foreach<true>(n, counters, make_hooks, cross);
     } else {
-      masked_foreach<false>(n, counters, cross);
+      masked_foreach<false>(n, counters, make_hooks, cross);
     }
     if (times != nullptr) times->facets += timer.seconds();
 
     timer.restart();
-    masked_foreach<false>(n, counters, census);
+    masked_foreach<false>(n, counters, make_hooks, census);
     if (times != nullptr) times->census += timer.seconds();
 
     // Kernel 5: the separate tally loop (§VI-G) — drains the deposits the
@@ -458,20 +629,37 @@ EventCounters drive(const View& v, const TransportContext& ctx, double dt_s,
   return total;
 }
 
+/// Pick the hooks policy: per-thread TimingHooks when profiling (TimingHooks
+/// is stateful — one in-flight phase start per instance — so every parallel
+/// region constructs its own through make_hooks), NoHooks otherwise.
+template <class View>
+EventCounters dispatch(const View& v, const TransportContext& ctx, double dt_s,
+                       const OverEventsOptions& opt, OverEventsWorkspace& ws,
+                       OverEventsKernelTimes* times) {
+  if (opt.profile && ctx.profiler != nullptr) {
+    PhaseProfiler* profiler = ctx.profiler;
+    return drive(v, ctx, dt_s, opt, ws, times, [profiler](std::int32_t t) {
+      return TimingHooks(profiler, t);
+    });
+  }
+  return drive(v, ctx, dt_s, opt, ws, times,
+               [](std::int32_t) { return NoHooks{}; });
+}
+
 }  // namespace
 
 EventCounters over_events_step(const SoaView& v, const TransportContext& ctx,
                                double dt_s, const OverEventsOptions& opt,
                                OverEventsWorkspace& ws,
                                OverEventsKernelTimes* times) {
-  return drive(v, ctx, dt_s, opt, ws, times);
+  return dispatch(v, ctx, dt_s, opt, ws, times);
 }
 
 EventCounters over_events_step(const AosView& v, const TransportContext& ctx,
                                double dt_s, const OverEventsOptions& opt,
                                OverEventsWorkspace& ws,
                                OverEventsKernelTimes* times) {
-  return drive(v, ctx, dt_s, opt, ws, times);
+  return dispatch(v, ctx, dt_s, opt, ws, times);
 }
 
 }  // namespace neutral

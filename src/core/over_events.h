@@ -47,6 +47,34 @@ struct OverEventsOptions {
   /// identical to the masked sweeps' (ascending index), so checksums are
   /// bit-identical; default off to preserve the seed traversal.
   bool sort_events = false;
+  /// Fuse the event-search and event-handler kernels into one sweep per
+  /// round (the second half of the MC/DC-style traversal work started by
+  /// sort_events): each round runs search -> handler per candidate with the
+  /// flight state still in registers, instead of re-streaming it through
+  /// the workspace arrays between the two passes.  The sweep visits the
+  /// compacted candidate list in ascending index order, and deposits are
+  /// captured per thread into per-event-kind lanes that replay in the
+  /// canonical [collisions | facets | censuses] order before the tally
+  /// drain — so the accumulation order, and with it every checksum, is
+  /// bit-identical to the unfused traversal (single-thread contract, as
+  /// for sort_events).  Takes precedence over sort_events when both are
+  /// set.  Default off to preserve the seed traversal.
+  ///
+  /// Phase/kernel attribution under fusion (the documented charging rule):
+  /// each round's sweep wall time is apportioned between event_search and
+  /// the three handler kinds by a per-candidate TSC split taken at the
+  /// select_and_move return; candidate compaction bookkeeping charges to
+  /// event_search, and the deposit replay + drain charge to tally.  RunResult::phases uses the
+  /// step.h probe boundaries (select_and_move = event_search, handle_facet
+  /// = facet, ...) unchanged, so --profile tables stay comparable across
+  /// the flag.  The per-candidate split costs two extra TSC reads per
+  /// event, so it only runs when record_kernel_times is set — the
+  /// Simulation layer masks that with the profile flag for fused runs.
+  bool fuse_rounds = false;
+  /// Drive the step.h phase probes with per-thread TimingHooks (requires
+  /// ctx.profiler) so RunResult::phases covers the breadth-first scheme
+  /// too.  Set by the Simulation layer from SimulationConfig::profile.
+  bool profile = false;
   /// Flip kCensus particles to kAlive (with a fresh dt) in the wake-up
   /// prologue — the start of a timestep.  Domain-decomposition resume
   /// rounds set this false so only freshly injected mid-flight immigrants

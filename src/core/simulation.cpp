@@ -109,6 +109,8 @@ Simulation::Simulation(SimulationConfig config,
              config_.tally_direct),
       bank_(config_.layout) {
   NEUTRAL_REQUIRE(config_.deck.n_particles > 0, "deck must define particles");
+  NEUTRAL_REQUIRE(config_.pipeline_histories >= 1,
+                  "pipeline-histories must be >= 1");
   NEUTRAL_REQUIRE(span_.first_id >= 0 && span_.count > 0 &&
                       span_.first_id + span_.count <= config_.deck.n_particles,
                   "particle span must be a non-empty slice of the deck bank");
@@ -215,6 +217,7 @@ StepResult Simulation::step_transport(bool wake_census) {
     OverParticlesOptions opt;
     opt.schedule = config_.schedule;
     opt.profile = config_.profile;
+    opt.pipeline_histories = config_.pipeline_histories;
     opt.wake_census = wake_census;
     result.counters = bank_.with_view([&](const auto& view) {
       return over_particles_step(view, ctx_, config_.deck.dt_s, opt);
@@ -231,6 +234,13 @@ StepResult Simulation::step_transport(bool wake_census) {
     note_bank_peak();
     OverEventsOptions opt = config_.over_events;
     opt.wake_census = wake_census;
+    opt.profile = config_.profile;
+    if (opt.fuse_rounds) {
+      // The fused sweep's kernel-time split costs two TSC reads per event
+      // (the unfused kernels pay two per KERNEL), so only record it when
+      // the run is profiling anyway; unprofiled fused runs stay untaxed.
+      opt.record_kernel_times = opt.record_kernel_times && config_.profile;
+    }
     result.counters = bank_.with_view([&](const auto& view) {
       return over_events_step(view, ctx_, config_.deck.dt_s, opt,
                               *workspace_, &result.kernel_times);

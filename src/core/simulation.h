@@ -94,6 +94,14 @@ struct SimulationConfig {
   /// floating-point arithmetic with the per-particle direction/event
   /// branches turned into conditional moves.  Off by default.
   bool branchless_events = false;
+  /// Over Particles software pipeline depth (--pipeline-histories): K > 1
+  /// keeps K histories in flight per thread, overlapping one history's
+  /// divide/sqrt latency chain with another's XS/facet math.  Checksums,
+  /// tallies and integer counters are bit-identical to K = 1 (see
+  /// OverParticlesOptions::pipeline_histories); must be >= 1; ignored (with
+  /// a CLI warning) by the Over Events scheme, whose breadth-first sweeps
+  /// already interleave histories.
+  std::int32_t pipeline_histories = 1;
   /// Single-thread tally fast path: plain (non-atomic) deposits when the
   /// run uses exactly one thread — same deposits, same per-cell order, so
   /// bit-identical; ignored (deposits stay atomic) at threads > 1.  Off by

@@ -79,9 +79,16 @@ inline void refresh_cross_sections(const View& v, std::size_t i,
   v.xs_index(i) = idx;
   ec.xs_lookups += 2;
   if constexpr (Hooks::kTracing) {
-    const std::int32_t steps = idx > before ? idx - before : before - idx;
-    hooks.xs_walk(steps, idx);
-    hooks.xs_walk(steps > 0 ? 1 : 0, idx);  // second table: warm walk
+    if (ctx.lookup == XsLookup::kUnionised && ctx.xs_union != nullptr) {
+      // Fused grid: one O(1) direct-index load, then a walk of at most one
+      // step (union_grid.h), serving both reactions — there is no
+      // hint-relative walk and no second-table pass to charge.
+      hooks.xs_walk(idx != before ? 1 : 0, idx);
+    } else {
+      const std::int32_t steps = idx > before ? idx - before : before - idx;
+      hooks.xs_walk(steps, idx);
+      hooks.xs_walk(steps > 0 ? 1 : 0, idx);  // second table: warm walk
+    }
   }
   detail::refresh_macroscopic(fs);
   fs.speed = detail::speed_from_energy(e);

@@ -39,6 +39,9 @@ EnergyTally::EnergyTally(std::int64_t cells, TallyMode mode,
   } else if (mode == TallyMode::kDeferredAtomic) {
     deferred_.resize(static_cast<std::size_t>(threads));
   }
+  // One redirection slot per thread, all detached (Padded value-initialises
+  // the pointer to nullptr), so deposit() can test its slot unconditionally.
+  sinks_.resize(static_cast<std::size_t>(threads));
 }
 
 void EnergyTally::drain_deferred() {

@@ -44,6 +44,15 @@ enum class TallyMode : std::uint8_t {
 
 const char* to_string(TallyMode mode);
 
+/// One buffered deposit: the flat cell index and the amount.  Public so the
+/// gated traversal fast paths (over-events round fusion, the over-particles
+/// history pipeline) can capture deposits into their own buffers via
+/// set_deposit_sink() and replay them later in the canonical order.
+struct PendingDeposit {
+  std::int64_t cell;
+  double amount;
+};
+
 /// A detached copy of a merged tally: the per-cell sums plus (for
 /// compensated tallies) the per-cell error terms.  This is the value a
 /// shard job returns to the reducer after its Simulation is destroyed.
@@ -75,6 +84,15 @@ class EnergyTally {
 
   /// Hot path: deposit `e` into flat cell index `flat` from `thread`.
   void deposit(std::int64_t flat, double e, std::int32_t thread) {
+    if (std::vector<PendingDeposit>* sink =
+            sinks_[static_cast<std::size_t>(thread)].value;
+        sink != nullptr) {
+      // A traversal fast path has redirected this thread's deposits into
+      // its own buffer (see set_deposit_sink); it will replay them through
+      // this function — sink detached — in the canonical order.
+      sink->push_back({flat, e});
+      return;
+    }
     const auto f = static_cast<std::size_t>(flat);
     switch (mode_) {
       case TallyMode::kAtomic: {
@@ -100,6 +118,30 @@ class EnergyTally {
           privates_[t][f] += e;
         }
       }
+    }
+  }
+
+  /// Redirect `thread`'s subsequent deposits into `sink` (append-only);
+  /// nullptr restores the normal paths.  Each thread may only set its own
+  /// slot (the slots are cache-line padded, so concurrent per-thread
+  /// switching inside a parallel region is race-free).  The traversal fast
+  /// paths use this to decouple *when* a deposit is computed from *where in
+  /// the accumulation order* it lands: capture out-of-order, then replay in
+  /// the canonical order so every checksum is bit-identical.
+  void set_deposit_sink(std::int32_t thread,
+                        std::vector<PendingDeposit>* sink) {
+    sinks_[static_cast<std::size_t>(thread)].value = sink;
+  }
+
+  /// Apply captured deposits through the normal deposit() switch, as
+  /// `thread`.  The thread's sink must be detached first, or the replay
+  /// would feed back into the buffer.
+  void replay_deposits(const std::vector<PendingDeposit>& buffered,
+                       std::int32_t thread) {
+    NEUTRAL_REQUIRE(sinks_[static_cast<std::size_t>(thread)].value == nullptr,
+                    "detach the deposit sink before replaying into it");
+    for (const PendingDeposit& d : buffered) {
+      deposit(d.cell, d.amount, thread);
     }
   }
 
@@ -159,11 +201,6 @@ class EnergyTally {
   [[nodiscard]] std::uint64_t footprint_bytes() const;
 
  private:
-  struct PendingDeposit {
-    std::int64_t cell;
-    double amount;
-  };
-
   /// Neumaier running sum: sum += x with the rounding error folded into
   /// comp.  (sum + comp) tracks the exact sum to ~2x working precision.
   static void two_sum_add(double& sum, double& comp, double x) {
@@ -196,6 +233,9 @@ class EnergyTally {
   std::vector<aligned_vector<double>> privates_;
   std::vector<aligned_vector<double>> privates_comp_;
   std::vector<Padded<std::vector<PendingDeposit>>> deferred_;
+  /// Per-thread deposit redirection slots (nullptr = normal path); sized to
+  /// the thread count in the constructor so deposit() can index blindly.
+  std::vector<Padded<std::vector<PendingDeposit>*>> sinks_;
 };
 
 }  // namespace neutral

@@ -46,6 +46,29 @@ void check_bool(const JsonValue& obj, const char* key,
   }
 }
 
+/// Optional fields added after the v2 schema shipped: absence is fine
+/// (reads as the default), but a present field must still be well-typed.
+void check_optional_bool(const JsonValue& obj, const char* key,
+                         const std::string& where,
+                         std::vector<std::string>& problems) {
+  const JsonValue* v = obj.find(key);
+  if (v != nullptr && !v->is(JsonValue::Type::kBool)) {
+    problems.push_back(where + ": non-boolean field '" + std::string(key) +
+                       "'");
+  }
+}
+
+void check_optional_min(const JsonValue& obj, const char* key, double min,
+                        const std::string& where,
+                        std::vector<std::string>& problems) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return;
+  if (!v->is(JsonValue::Type::kNumber) || v->number < min) {
+    problems.push_back(where + ": field '" + std::string(key) +
+                       "' must be a number >= " + std::to_string(min));
+  }
+}
+
 }  // namespace
 
 std::string BenchDocument::to_json() const {
@@ -67,7 +90,11 @@ std::string BenchDocument::to_json() const {
   out += "    \"sort_events\": " +
          std::string(sort_events ? "true" : "false") + ",\n";
   out += "    \"tally_direct\": " +
-         std::string(tally_direct ? "true" : "false") + "\n  },\n";
+         std::string(tally_direct ? "true" : "false") + ",\n";
+  out += "    \"fuse_rounds\": " +
+         std::string(fuse_rounds ? "true" : "false") + ",\n";
+  out += "    \"pipeline_histories\": " + std::to_string(pipeline_histories) +
+         "\n  },\n";
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -151,6 +178,8 @@ std::vector<std::string> validate_bench_record(const std::string& json_text) {
       check_bool(*run, "sort_events", "run", problems);
       check_bool(*run, "tally_direct", "run", problems);
     }
+    check_optional_bool(*run, "fuse_rounds", "run", problems);
+    check_optional_min(*run, "pipeline_histories", 1.0, "run", problems);
   }
   const JsonValue* results = doc.find("results");
   if (results == nullptr || !results->is(JsonValue::Type::kArray)) {

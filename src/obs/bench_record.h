@@ -63,6 +63,12 @@ struct BenchDocument {
   bool branchless_events = false;
   bool sort_events = false;
   bool tally_direct = false;
+  /// Round-fusion / history-pipeline knobs.  OPTIONAL in the v2 schema —
+  /// records written before these existed validate unchanged and read as
+  /// "off" (fuse_rounds=false, pipeline_histories=1), so the committed
+  /// perf trajectory keeps diffing across the repo's history.
+  bool fuse_rounds = false;
+  std::int32_t pipeline_histories = 1;
   std::vector<BenchResult> results;
 
   [[nodiscard]] std::string to_json() const;

@@ -10,6 +10,7 @@
 #include "simt/cache.h"
 #include "util/error.h"
 #include "xs/synthetic.h"
+#include "xs/union_grid.h"
 
 namespace neutral::simt {
 namespace {
@@ -21,7 +22,15 @@ namespace {
 // and every event carries bookkeeping beyond its recorded FLOPs.
 // ---------------------------------------------------------------------------
 constexpr double kEventBaseCycles = 60.0;  ///< branchy scalar pipeline work
+/// Branchless event selection (--branchless-events) trades the breadth-first
+/// sweep's mispredicting compare-and-branch ladder for select chains: the
+/// ~12-cycle mispredict tax per event mostly disappears, the selects
+/// themselves are nearly free on the vector units.
+constexpr double kEventBaseCyclesBranchless = 48.0;
 constexpr double kRngCyclesPerDraw = 16.0;
+/// Batched RNG (--rng-batch): one Threefry block yields four draws, so the
+/// ~16-cycle block cost amortises to ~4 plus a buffer load/rotate.
+constexpr double kRngCyclesPerDrawBatched = 5.0;
 constexpr double kXsStepCycles = 3.0;
 constexpr double kMaskCheckCycles = 2.0;
 /// Issue cost of one gathered/scattered lane in the Over Events kernels —
@@ -87,7 +96,13 @@ class CostEngine {
         cache_(scaled_cache_bytes(cfg), cfg.device.memory.line_bytes),
         units_(units_used),
         contexts_(contexts),
-        ledgers_(static_cast<std::size_t>(units_used)) {
+        ledgers_(static_cast<std::size_t>(units_used)),
+        rng_cycles_per_draw_(cfg.rng_batch ? kRngCyclesPerDrawBatched
+                                           : kRngCyclesPerDraw),
+        oe_event_base_cycles_(cfg.branchless_events
+                                  ? kEventBaseCyclesBranchless
+                                  : kEventBaseCycles),
+        unionised_(cfg.lookup == XsLookup::kUnionised) {
     if (cfg.amortize_to_particles > 0) {
       fixed_cost_scale_ =
           std::min(1.0, static_cast<double>(cfg.deck.n_particles) /
@@ -133,7 +148,8 @@ class CostEngine {
       const int p = static_cast<int>(r.event);
       path_present[p] = true;
       const double alu = kEventBaseCycles + r.flops +
-                         kRngCyclesPerDraw * r.rng + kXsStepCycles * r.xs_steps;
+                         rng_cycles_per_draw_ * r.rng +
+                         kXsStepCycles * r.xs_steps;
       path_max[p] = std::max(path_max[p], alu);
     }
     if (active == 0) return;
@@ -162,20 +178,7 @@ class CostEngine {
         push_line(make_address(Region::kDensity,
                                static_cast<std::uint64_t>(r.density_flat) * 8));
       }
-      if (r.xs_index >= 0) {
-        const auto off = static_cast<std::uint64_t>(r.xs_index) * 8;
-        push_line(make_address(Region::kXsEnergy, off));
-        push_line(make_address(Region::kXsValue, off));
-        // A long cached-linear walk touches extra table lines.
-        const std::int32_t extra_lines =
-            (r.xs_steps * 8) / device_.memory.line_bytes;
-        for (std::int32_t l = 1; l <= extra_lines; ++l) {
-          push_line(make_address(
-              Region::kXsEnergy,
-              off + static_cast<std::uint64_t>(l) *
-                        static_cast<std::uint64_t>(device_.memory.line_bytes)));
-        }
-      }
+      push_xs_lines(r, /*include_walk_lines=*/true);
     }
     // One spill reload/store sequence is a warp-wide instruction: charge it
     // per warp-step, not per lane.
@@ -212,8 +215,9 @@ class CostEngine {
       if (!r.active) continue;
       ++active;
       if (r.density_flat >= 0 || r.xs_index >= 0) ++gather_lanes;
-      const double alu = kEventBaseCycles + r.flops +
-                         kRngCyclesPerDraw * r.rng + kXsStepCycles * r.xs_steps;
+      const double alu = oe_event_base_cycles_ + r.flops +
+                         rng_cycles_per_draw_ * r.rng +
+                         kXsStepCycles * r.xs_steps;
       alu_max = std::max(alu_max, alu);
     }
     // Mask checks for the whole warp (the kernel visits every particle).
@@ -257,11 +261,7 @@ class CostEngine {
         push_line(make_address(Region::kDensity,
                                static_cast<std::uint64_t>(r.density_flat) * 8));
       }
-      if (r.xs_index >= 0) {
-        const auto off = static_cast<std::uint64_t>(r.xs_index) * 8;
-        push_line(make_address(Region::kXsEnergy, off));
-        push_line(make_address(Region::kXsValue, off));
-      }
+      push_xs_lines(r, /*include_walk_lines=*/false);
     }
     stall += probe_random_lines();
     ledgers_[static_cast<std::size_t>(unit)].issue += issue;
@@ -329,6 +329,34 @@ class CostEngine {
   }
 
  private:
+  /// Collect the table lines one lane's XS lookup touches.  The default
+  /// tables read an energy line and a value line per reaction walk; the
+  /// unionised grid reads one energy line plus one interleaved
+  /// (capture, scatter) run — 16 bytes per grid point, so one value line
+  /// serves both reactions — and its <=1-step walk never spills into
+  /// extra table lines.
+  void push_xs_lines(const LaneRecord& r, bool include_walk_lines) {
+    if (r.xs_index < 0) return;
+    const auto off = static_cast<std::uint64_t>(r.xs_index) * 8;
+    push_line(make_address(Region::kXsEnergy, off));
+    if (unionised_) {
+      push_line(make_address(Region::kXsValue,
+                             static_cast<std::uint64_t>(r.xs_index) * 16));
+      return;
+    }
+    push_line(make_address(Region::kXsValue, off));
+    if (!include_walk_lines) return;
+    // A long cached-linear walk touches extra table lines.
+    const std::int32_t extra_lines =
+        (r.xs_steps * 8) / device_.memory.line_bytes;
+    for (std::int32_t l = 1; l <= extra_lines; ++l) {
+      push_line(make_address(
+          Region::kXsEnergy,
+          off + static_cast<std::uint64_t>(l) *
+                    static_cast<std::uint64_t>(device_.memory.line_bytes)));
+    }
+  }
+
   void push_line(std::uint64_t addr) {
     const std::uint64_t line =
         addr / static_cast<std::uint64_t>(device_.memory.line_bytes);
@@ -413,6 +441,9 @@ class CostEngine {
   std::int32_t units_;
   std::int32_t contexts_;
   std::vector<UnitLedger> ledgers_;
+  double rng_cycles_per_draw_ = kRngCyclesPerDraw;
+  double oe_event_base_cycles_ = kEventBaseCycles;
+  bool unionised_ = false;
   std::uint64_t dram_bytes_ = 0;
   double spill_bytes_per_event_ = 0.0;
   double fixed_cost_scale_ = 1.0;
@@ -436,6 +467,7 @@ struct SimWorld {
         density(mesh, cfg.deck.base_density_kg_m3),
         capture(make_capture_table(cfg.deck.xs)),
         scatter(make_scatter_table(cfg.deck.xs)),
+        xs_union(capture, scatter),
         tally(mesh.num_cells(), TallyMode::kAtomic, 1),
         particles(static_cast<std::size_t>(cfg.deck.n_particles)),
         flight(static_cast<std::size_t>(cfg.deck.n_particles)) {
@@ -446,8 +478,15 @@ struct SimWorld {
     ctx.density = &density;
     ctx.xs_capture = &capture;
     ctx.xs_scatter = &scatter;
+    ctx.xs_union = &xs_union;
     ctx.tally = &tally;
     ctx.lookup = cfg.lookup;
+    // The replayed physics honours the same fast-path gates as the native
+    // drives: the batched stream resumes from the particle counter
+    // (bit-identical draws) and the branchless selection is bit-identical
+    // per facet.h, so flipping these can never move the 1e-9 gate.
+    ctx.rng_batch = cfg.rng_batch;
+    ctx.branchless_events = cfg.branchless_events;
     ctx.molar_mass_g_mol = cfg.deck.molar_mass_g_mol;
     ctx.mass_number = cfg.deck.mass_number;
     ctx.min_energy_ev = cfg.deck.min_energy_ev;
@@ -461,6 +500,7 @@ struct SimWorld {
   DensityField density;
   CrossSectionTable capture;
   CrossSectionTable scatter;
+  UnionisedXsGrid xs_union;
   EnergyTally tally;
   std::vector<Particle> particles;
   std::vector<FlightState> flight;
@@ -489,6 +529,9 @@ void resolve_parallelism(const SimtConfig& cfg, std::int32_t* units_used,
 
 SimtEstimate simulate_over_particles(const SimtConfig& cfg) {
   SimWorld world(cfg);
+  // The native per-history drive runs the branchy selection unconditionally
+  // (over_particles.cpp); the replay must match it event for event.
+  world.ctx.branchless_events = false;
   std::int32_t units_used = 1, contexts = 1;
   resolve_parallelism(cfg, &units_used, &contexts);
   CostEngine engine(cfg, units_used, contexts);

@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "batch/domain.h"
 #include "batch/engine.h"
@@ -173,9 +174,10 @@ TEST_P(GoldenSchemes, DomainDecompositionPreservesEverySchemeAndLayout) {
 TEST_P(GoldenSchemes, FastPathsPreserveChecksumsExactly) {
   // The perf-pass contract: every fast path — unionised XS grid, batched
   // RNG, branchless event search, event-sorted traversal, direct tally
-  // deposits — is a mechanical rearrangement, not an approximation.  The
-  // full cross product of scheme x layout x lookup x rng_batch x
-  // branchless x sort x tally_direct must reproduce the default path's
+  // deposits, over-events round fusion, multi-history pipelining — is a
+  // mechanical rearrangement, not an approximation.  The full cross
+  // product of scheme x layout x lookup x rng_batch x branchless x sort x
+  // fuse x pipeline x tally_direct must reproduce the default path's
   // outputs bit for bit (atomic tally, one thread: zero legitimate
   // wobble, so EXPECT_EQ on doubles is correct).
   const std::string name = GetParam();
@@ -187,6 +189,15 @@ TEST_P(GoldenSchemes, FastPathsPreserveChecksumsExactly) {
       Simulation ref_sim(ref_cfg);
       const RunResult reference = ref_sim.run();
 
+      // Round fusion only exists in the Over Events scheme (and must
+      // compose with — taking precedence over — the sorted traversal);
+      // the history pipeline only exists in Over Particles.
+      const std::vector<bool> fuse_values =
+          scheme == Scheme::kOverEvents ? std::vector<bool>{false, true}
+                                        : std::vector<bool>{false};
+      const std::vector<std::int32_t> pipeline_values =
+          scheme == Scheme::kOverParticles ? std::vector<std::int32_t>{1, 4}
+                                           : std::vector<std::int32_t>{1};
       for (const XsLookup lookup :
            {XsLookup::kBinarySearch, XsLookup::kCachedLinear,
             XsLookup::kBucketedIndex, XsLookup::kUnionised}) {
@@ -197,32 +208,41 @@ TEST_P(GoldenSchemes, FastPathsPreserveChecksumsExactly) {
                  scheme == Scheme::kOverEvents
                      ? std::initializer_list<bool>{false, true}
                      : std::initializer_list<bool>{false}) {
-              for (const bool direct : {false, true}) {
-                SimulationConfig cfg = ref_cfg;
-                cfg.lookup = lookup;
-                cfg.rng_batch = rng_batch;
-                cfg.branchless_events = branchless;
-                cfg.over_events.sort_events = sort;
-                cfg.tally_direct = direct;
-                Simulation sim(std::move(cfg));
-                const RunResult result = sim.run();
-                SCOPED_TRACE(std::string(to_string(scheme)) + "/" +
-                             to_string(layout) + "/" + to_string(lookup) +
-                             (rng_batch ? "/rng-batch" : "") +
-                             (branchless ? "/branchless" : "") +
-                             (sort ? "/sorted" : "") +
-                             (direct ? "/tally-direct" : ""));
-                EXPECT_EQ(result.tally_checksum, reference.tally_checksum);
-                EXPECT_EQ(result.budget.tally_total,
-                          reference.budget.tally_total);
-                EXPECT_EQ(result.population, reference.population);
-                EXPECT_EQ(result.counters.facets, reference.counters.facets);
-                EXPECT_EQ(result.counters.collisions,
-                          reference.counters.collisions);
-                EXPECT_EQ(result.counters.censuses,
-                          reference.counters.censuses);
-                EXPECT_EQ(result.counters.rng_draws,
-                          reference.counters.rng_draws);
+              for (const bool fuse : fuse_values) {
+                for (const std::int32_t pipeline : pipeline_values) {
+                  for (const bool direct : {false, true}) {
+                    SimulationConfig cfg = ref_cfg;
+                    cfg.lookup = lookup;
+                    cfg.rng_batch = rng_batch;
+                    cfg.branchless_events = branchless;
+                    cfg.over_events.sort_events = sort;
+                    cfg.over_events.fuse_rounds = fuse;
+                    cfg.pipeline_histories = pipeline;
+                    cfg.tally_direct = direct;
+                    Simulation sim(std::move(cfg));
+                    const RunResult result = sim.run();
+                    SCOPED_TRACE(std::string(to_string(scheme)) + "/" +
+                                 to_string(layout) + "/" + to_string(lookup) +
+                                 (rng_batch ? "/rng-batch" : "") +
+                                 (branchless ? "/branchless" : "") +
+                                 (sort ? "/sorted" : "") +
+                                 (fuse ? "/fused" : "") +
+                                 (pipeline > 1 ? "/pipelined" : "") +
+                                 (direct ? "/tally-direct" : ""));
+                    EXPECT_EQ(result.tally_checksum, reference.tally_checksum);
+                    EXPECT_EQ(result.budget.tally_total,
+                              reference.budget.tally_total);
+                    EXPECT_EQ(result.population, reference.population);
+                    EXPECT_EQ(result.counters.facets,
+                              reference.counters.facets);
+                    EXPECT_EQ(result.counters.collisions,
+                              reference.counters.collisions);
+                    EXPECT_EQ(result.counters.censuses,
+                              reference.counters.censuses);
+                    EXPECT_EQ(result.counters.rng_draws,
+                              reference.counters.rng_draws);
+                  }
+                }
               }
             }
           }
@@ -242,17 +262,33 @@ TEST_P(GoldenSchemes, MachineModelAgreesWithinDocumentedTolerance) {
   sc.scheme = Scheme::kOverParticles;
   sc.deck = golden_config(name).deck;
   sc.threads = 1;
-  const simt::SimtEstimate est = simt::simulate_transport(sc);
 
-  // Identical physics, independent tally accumulation: integers exact,
-  // floats within 1e-9 relative (the documented cross-scheme tolerance).
-  EXPECT_EQ(est.counters.facets, native.counters.facets);
-  EXPECT_EQ(est.counters.collisions, native.counters.collisions);
-  EXPECT_EQ(est.counters.censuses, native.counters.censuses);
-  EXPECT_NEAR(est.tally_total, native.budget.tally_total,
-              1e-9 * std::abs(native.budget.tally_total));
-  EXPECT_NEAR(est.tally_checksum, native.tally_checksum,
-              1e-9 * std::abs(native.tally_checksum) + 1e-12);
+  // The modelled fast paths (unionised lookup, batched RNG, branchless
+  // events) change the machine model's cost charging, never its physics:
+  // the replayed kernels must stay inside the documented tolerance with
+  // every optimisation on, for both schemes.
+  for (const bool fast_paths : {false, true}) {
+    sc.lookup = fast_paths ? XsLookup::kUnionised : XsLookup::kCachedLinear;
+    sc.rng_batch = fast_paths;
+    sc.branchless_events = fast_paths;
+    for (const Scheme scheme : {Scheme::kOverParticles, Scheme::kOverEvents}) {
+      sc.scheme = scheme;
+      SCOPED_TRACE(std::string(to_string(scheme)) +
+                   (fast_paths ? "/fast-paths" : "/default"));
+      const simt::SimtEstimate est = simt::simulate_transport(sc);
+
+      // Identical physics, independent tally accumulation: integers exact,
+      // floats within 1e-9 relative (the documented cross-scheme
+      // tolerance).
+      EXPECT_EQ(est.counters.facets, native.counters.facets);
+      EXPECT_EQ(est.counters.collisions, native.counters.collisions);
+      EXPECT_EQ(est.counters.censuses, native.counters.censuses);
+      EXPECT_NEAR(est.tally_total, native.budget.tally_total,
+                  1e-9 * std::abs(native.budget.tally_total));
+      EXPECT_NEAR(est.tally_checksum, native.tally_checksum,
+                  1e-9 * std::abs(native.tally_checksum) + 1e-12);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Decks, GoldenSchemes,
