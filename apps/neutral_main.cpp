@@ -11,8 +11,8 @@
 //   $ neutral --problem csp --heatmap out.ppm        # deposition image
 //   $ neutral --problem csp --shards 8               # fork-join one deck
 //   $ neutral --problem csp --domains 2x2            # decompose the mesh
-//   $ neutral --problem csp --domains 2x2 --shards 2 --scheme events \
-//       --layout soa                                 # the full cross-product
+//   $ neutral --problem csp --domains 2x2 --shards 2 --scheme events
+//       --layout soa  (one command; the full cross-product)
 #include <cstdio>
 #include <string>
 

@@ -8,8 +8,8 @@
 //
 //   $ neutrald --port 4817                      # serve on 127.0.0.1:4817
 //   $ neutrald --port 0 --quiet                 # ephemeral port, no logs
-//   $ neutrald --max-run-wall-ms 60000 \
-//              --max-queue-wait-ms 10000        # deadline policy for serving
+//   $ neutrald --max-run-wall-ms 60000
+//              --max-queue-wait-ms 10000    (one command; serving deadlines)
 //   $ neutral_batch --connect 127.0.0.1:4817    # run a sweep against it
 //
 // The deadline flags are what make the daemon safe to leave running: a job

@@ -12,8 +12,8 @@
 //     configs differ.  That turns every perf comparison into a correctness
 //     proof for the fast paths, for free.
 //
-//   $ bench_compare --baseline BENCH_transport.baseline.json \
-//                   --candidate BENCH_transport.json
+//   $ bench_compare --baseline BENCH_transport.baseline.json
+//                   --candidate BENCH_transport.json    (one command)
 //   $ bench_compare ... --threshold 1.3     # demand a 1.3x speedup
 //
 // CI runs this as a soft gate (warn on PR, artifacts always uploaded):

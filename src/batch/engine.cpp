@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -12,6 +11,8 @@
 #include "runtime/host_info.h"
 #include "runtime/timer.h"
 #include "util/error.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace neutral::batch {
 
@@ -92,6 +93,79 @@ const char* terminal_event(const JobOutcome& outcome) {
   if (outcome.timed_out) return "timed_out";
   return "failed";
 }
+
+/// run()'s shared mutable state: the outcome table and the per-group job
+/// countdowns, written by every worker and by the producer.  A class (not
+/// a lambda closing over locals) so the lock relationship is expressed in
+/// annotations the thread-safety analysis checks.
+class RunRecorder {
+ public:
+  RunRecorder(BatchReport& report, JobQueue& queue,
+              const EngineMetrics& metrics, obs::TraceLog* trace,
+              const BatchEngine::CompletionCallback& on_complete,
+              std::unordered_map<std::uint64_t, std::size_t> slot_of,
+              std::unordered_map<std::uint64_t, std::size_t> group_remaining,
+              std::vector<std::uint64_t> group_by_slot)
+      : report_(report),
+        queue_(queue),
+        metrics_(metrics),
+        trace_(trace),
+        on_complete_(on_complete),
+        slot_of_(std::move(slot_of)),
+        group_by_slot_(std::move(group_by_slot)),
+        group_remaining_(std::move(group_remaining)) {}
+
+  /// Submission-order slot of a job id.  slot_of_ is immutable after
+  /// construction, so workers may index per-slot arrays without the lock.
+  [[nodiscard]] std::size_t slot(std::uint64_t job_id) const {
+    return slot_of_.at(job_id);
+  }
+
+  /// Record one outcome (and its metrics/trace/callback side effects)
+  /// under the lock.  The last outcome of a group evicts its cancellation
+  /// tombstone: every job of the group is accounted for, so no push can
+  /// resurrect it.
+  void record(JobOutcome&& outcome) NEUTRAL_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const std::size_t slot = slot_of_.at(outcome.job_id);
+    report_.jobs[slot] = std::move(outcome);
+    const JobOutcome& done = report_.jobs[slot];
+    metrics_.note(done);
+    if (trace_ != nullptr) {
+      obs::TraceEvent event;
+      event.event = terminal_event(done);
+      event.job_id = done.job_id;
+      event.group = group_by_slot_[slot];
+      event.label = done.label;
+      event.worker = done.worker;
+      if (done.worker >= 0) {
+        event.queue_wait_s = done.queue_wait_seconds;
+        event.run_wall_s = done.seconds;
+      }
+      event.detail = done.error;
+      trace_->record(event);
+    }
+    if (on_complete_) on_complete_(report_.jobs[slot]);
+    const std::uint64_t group = group_by_slot_[slot];
+    if (group != 0 && --group_remaining_.at(group) == 0) {
+      queue_.forget_group(group);
+    }
+  }
+
+ private:
+  Mutex mutex_;
+  /// Only the jobs table is worker-shared; run() touches the report's
+  /// scalar fields strictly before the pool spawns and after it joins.
+  BatchReport& report_ NEUTRAL_GUARDED_BY(mutex_);
+  JobQueue& queue_;
+  const EngineMetrics& metrics_;
+  obs::TraceLog* const trace_;
+  const BatchEngine::CompletionCallback& on_complete_;
+  const std::unordered_map<std::uint64_t, std::size_t> slot_of_;
+  const std::vector<std::uint64_t> group_by_slot_;
+  std::unordered_map<std::uint64_t, std::size_t> group_remaining_
+      NEUTRAL_GUARDED_BY(mutex_);
+};
 
 }  // namespace
 
@@ -208,46 +282,17 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
   }
 
   JobQueue queue(queue_depth(workers), options_.policy, options_.metrics);
-  std::mutex report_mutex;
   const WorldCache::Stats cache_before = cache_.stats();
   const EngineMetrics metrics(options_.metrics);
   obs::TraceLog* const trace = options_.trace;
+  RunRecorder recorder(report, queue, metrics, trace, on_complete,
+                       std::move(slot_of), std::move(group_remaining),
+                       std::move(group_by_slot));
   // Written by the producer before each push, read by the worker that pops
   // the job — the queue mutex orders the two, so no per-slot atomics.
   std::vector<std::chrono::steady_clock::time_point> submitted_at(
       jobs.size());
   WallTimer wall;
-
-  // Record one outcome (and, for failures of a grouped job, the cancelled
-  // outcomes of its unrun siblings) under the report lock.  The last
-  // outcome of a group evicts its cancellation tombstone: every job of the
-  // group is accounted for, so no push can resurrect it.
-  auto record = [&](JobOutcome&& outcome) {
-    std::lock_guard<std::mutex> lock(report_mutex);
-    const std::size_t slot = slot_of.at(outcome.job_id);
-    report.jobs[slot] = std::move(outcome);
-    const JobOutcome& done = report.jobs[slot];
-    metrics.note(done);
-    if (trace != nullptr) {
-      obs::TraceEvent event;
-      event.event = terminal_event(done);
-      event.job_id = done.job_id;
-      event.group = group_by_slot[slot];
-      event.label = done.label;
-      event.worker = done.worker;
-      if (done.worker >= 0) {
-        event.queue_wait_s = done.queue_wait_seconds;
-        event.run_wall_s = done.seconds;
-      }
-      event.detail = done.error;
-      trace->record(event);
-    }
-    if (on_complete) on_complete(report.jobs[slot]);
-    const std::uint64_t group = group_by_slot[slot];
-    if (group != 0 && --group_remaining.at(group) == 0) {
-      queue.forget_group(group);
-    }
-  };
 
   auto cancelled_outcome = [](std::uint64_t id, std::string label,
                               SimulationConfig config, std::string error) {
@@ -270,7 +315,7 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       outcome.queue_wait_seconds =
           std::chrono::duration<double>(
               std::chrono::steady_clock::now() -
-              submitted_at[slot_of.at(job->id)])
+              submitted_at[recorder.slot(job->id)])
               .count();
       if (trace != nullptr) {
         obs::TraceEvent event;
@@ -341,9 +386,9 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       if (failed && group != 0 && options_.cancel_failed_groups) {
         cancelled = queue.cancel_pending(group);
       }
-      record(std::move(outcome));
+      recorder.record(std::move(outcome));
       for (Job& sibling : cancelled) {
-        record(cancelled_outcome(
+        recorder.record(cancelled_outcome(
             sibling.id, std::move(sibling.label), std::move(sibling.config),
             "cancelled: sibling job " + std::to_string(failed_id) +
                 " failed"));
@@ -382,7 +427,7 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       event.label = label;
       trace->record(event);
     }
-    submitted_at[slot_of.at(id)] = std::chrono::steady_clock::now();
+    submitted_at[recorder.slot(id)] = std::chrono::steady_clock::now();
     const PushOutcome pushed = queue.push(std::move(job));
     if (pushed == PushOutcome::kAccepted) {
       if (trace != nullptr) {
@@ -396,10 +441,10 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       continue;
     }
     if (queue.group_cancelled(group)) {
-      record(cancelled_outcome(id, std::move(label), std::move(config),
-                               "cancelled: submission refused, group " +
-                                   std::to_string(group) +
-                                   " already failed"));
+      recorder.record(cancelled_outcome(
+          id, std::move(label), std::move(config),
+          "cancelled: submission refused, group " +
+              std::to_string(group) + " already failed"));
     } else {
       JobOutcome outcome;
       outcome.job_id = id;
@@ -418,9 +463,9 @@ BatchReport BatchEngine::run(std::vector<Job> jobs,
       if (group != 0 && options_.cancel_failed_groups) {
         cancelled = queue.cancel_pending(group);
       }
-      record(std::move(outcome));
+      recorder.record(std::move(outcome));
       for (Job& sibling : cancelled) {
-        record(cancelled_outcome(
+        recorder.record(cancelled_outcome(
             sibling.id, std::move(sibling.label), std::move(sibling.config),
             "cancelled: sibling job " + std::to_string(id) +
                 " timed out at submission"));

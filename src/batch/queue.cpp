@@ -104,24 +104,31 @@ Job JobQueue::take_top_locked() {
   return job;
 }
 
+bool JobQueue::group_cancelled_locked(std::uint64_t group) const {
+  return group != 0 && cancelled_groups_.contains(group);
+}
+
 PushOutcome JobQueue::push_locked(
-    Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
+    Job&& job, MutexLock& lock, bool blocking,
     std::optional<std::chrono::steady_clock::time_point> deadline) {
   const std::uint64_t group = job.group;
-  auto cancelled = [&] {
-    return group != 0 && cancelled_groups_.count(group) != 0;
-  };
-  auto unblocked = [&] {
-    return closed_ || cancelled() || live_ < capacity_;
-  };
+  // Explicit wait loops instead of predicate lambdas: the predicate reads
+  // guarded state, and only a loop spelled out in this (REQUIRES-annotated)
+  // function keeps those reads visible to the thread-safety analysis.
   if (blocking) {
-    if (deadline.has_value()) {
-      not_full_.wait_until(lock, *deadline, unblocked);
-    } else {
-      not_full_.wait(lock, unblocked);
+    while (!(closed_ || group_cancelled_locked(group) ||
+             live_ < capacity_)) {
+      if (deadline.has_value()) {
+        if (not_full_.wait_until(lock, *deadline) ==
+            std::cv_status::timeout) {
+          break;  // the post-wait checks below classify the expiry
+        }
+      } else {
+        not_full_.wait(lock);
+      }
     }
   }
-  if (closed_ || cancelled()) return PushOutcome::kRefused;
+  if (closed_ || group_cancelled_locked(group)) return PushOutcome::kRefused;
   if (live_ >= capacity_) {
     // Still full: a timed wait expired (kTimedOut — the queue is alive and
     // retrying may succeed) or this was a try_push.
@@ -141,7 +148,7 @@ std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
   std::vector<Job> removed;
   if (group == 0) return removed;  // 0 = ungrouped, nothing to cancel
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cancelled_groups_.insert(group);
     // Lazy tombstoning: mark matches dead in place — O(n) scan, no heap
     // rebuild — and let pop() discard them as they surface at the top.
@@ -177,17 +184,17 @@ std::vector<Job> JobQueue::cancel_pending(std::uint64_t group) {
 
 void JobQueue::forget_group(std::uint64_t group) {
   if (group == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   cancelled_groups_.erase(group);
 }
 
 bool JobQueue::group_cancelled(std::uint64_t group) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return group != 0 && cancelled_groups_.count(group) != 0;
+  MutexLock lock(mutex_);
+  return group_cancelled_locked(group);
 }
 
 std::size_t JobQueue::cancelled_group_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cancelled_groups_.size();
 }
 
@@ -195,7 +202,7 @@ PushOutcome JobQueue::push(Job job) {
   const auto start = std::chrono::steady_clock::now();
   PushOutcome outcome;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::optional<std::chrono::steady_clock::time_point> deadline;
     if (policy_.max_queue_wait.count() > 0) {
       deadline = start + policy_.max_queue_wait;
@@ -211,7 +218,7 @@ PushOutcome JobQueue::push_until(
   const auto start = std::chrono::steady_clock::now();
   PushOutcome outcome;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     outcome = push_locked(std::move(job), lock, /*blocking=*/true, deadline);
   }
   note_push_outcome(outcome, seconds_since(start));
@@ -222,7 +229,7 @@ bool JobQueue::try_push(Job job) {
   const auto start = std::chrono::steady_clock::now();
   PushOutcome outcome;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     outcome = push_locked(std::move(job), lock, /*blocking=*/false,
                           std::nullopt);
   }
@@ -234,8 +241,8 @@ std::optional<Job> JobQueue::pop() {
   const auto start = std::chrono::steady_clock::now();
   std::optional<Job> job;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || live_ > 0; });
+    MutexLock lock(mutex_);
+    while (!(closed_ || live_ > 0)) not_empty_.wait(lock);
     if (live_ == 0) return std::nullopt;  // closed and drained
     job = take_top_locked();
     not_full_.notify_one();
@@ -249,9 +256,12 @@ std::optional<Job> JobQueue::pop_until(
   const auto start = std::chrono::steady_clock::now();
   std::optional<Job> job;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_until(lock, deadline,
-                          [&] { return closed_ || live_ > 0; });
+    MutexLock lock(mutex_);
+    while (!(closed_ || live_ > 0)) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
     if (live_ == 0) {
       return std::nullopt;  // closed, drained, or timed out
     }
@@ -264,7 +274,7 @@ std::optional<Job> JobQueue::pop_until(
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -272,17 +282,17 @@ void JobQueue::close() {
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t JobQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return live_;
 }
 
 std::size_t JobQueue::dead_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return heap_.size() - live_;
 }
 

@@ -43,14 +43,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "batch/job.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace neutral::obs {
 class MetricsRegistry;
@@ -100,25 +100,27 @@ class JobQueue {
   /// at most that long (returning kTimedOut, dropping `job`).  kRefused
   /// (also dropping `job`) iff the queue was closed or the job's group
   /// cancelled before space became available.
-  PushOutcome push(Job job);
+  PushOutcome push(Job job) NEUTRAL_EXCLUDES(mutex_);
 
   /// push() with an explicit absolute deadline (steady clock).
   PushOutcome push_until(Job job,
-                         std::chrono::steady_clock::time_point deadline);
+                         std::chrono::steady_clock::time_point deadline)
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Non-blocking push: false when full, closed or group-cancelled.
-  bool try_push(Job job);
+  bool try_push(Job job) NEUTRAL_EXCLUDES(mutex_);
 
   /// Blocks while empty.  Returns the highest-ranked live job, or nullopt
   /// once the queue is closed and fully drained.
-  std::optional<Job> pop();
+  std::optional<Job> pop() NEUTRAL_EXCLUDES(mutex_);
 
   /// pop() with an absolute deadline: nullopt when the deadline passes
   /// with the queue still empty (distinguish from shutdown via closed()).
-  std::optional<Job> pop_until(std::chrono::steady_clock::time_point deadline);
+  std::optional<Job> pop_until(std::chrono::steady_clock::time_point deadline)
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Refuse further pushes and wake all waiters; queued jobs stay poppable.
-  void close();
+  void close() NEUTRAL_EXCLUDES(mutex_);
 
   /// Mark every still-queued job of `group` (0 is ungrouped and a no-op)
   /// dead — lazily: entries stay in the heap and pop() discards them as
@@ -127,25 +129,28 @@ class JobQueue {
   /// it.  Jobs of the group already popped are unaffected.  Returns the
   /// removed jobs (in submission order) so the caller can record their
   /// outcomes.
-  std::vector<Job> cancel_pending(std::uint64_t group);
+  std::vector<Job> cancel_pending(std::uint64_t group)
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Evict `group`'s cancellation tombstone.  Call once the last job of
   /// the group has been accounted for (no more pushes can arrive) — the
   /// engine does, keeping the tombstone set bounded by the number of
   /// groups currently in flight instead of ever cancelled.
-  void forget_group(std::uint64_t group);
+  void forget_group(std::uint64_t group) NEUTRAL_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool closed() const;
-  [[nodiscard]] bool group_cancelled(std::uint64_t group) const;
+  [[nodiscard]] bool closed() const NEUTRAL_EXCLUDES(mutex_);
+  [[nodiscard]] bool group_cancelled(std::uint64_t group) const
+      NEUTRAL_EXCLUDES(mutex_);
   /// Tombstones currently resident — a long-lived queue must keep this
   /// bounded (regression-tested).
-  [[nodiscard]] std::size_t cancelled_group_count() const;
+  [[nodiscard]] std::size_t cancelled_group_count() const
+      NEUTRAL_EXCLUDES(mutex_);
   /// Live (poppable) jobs; dead entries are excluded.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const NEUTRAL_EXCLUDES(mutex_);
   /// Cancelled entries still physically in the heap, awaiting lazy
   /// eviction by pop().  Observable so tests can prove cancellation did
   /// NOT rebuild the heap.
-  [[nodiscard]] std::size_t dead_entries() const;
+  [[nodiscard]] std::size_t dead_entries() const NEUTRAL_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const QueuePolicy& policy() const { return policy_; }
 
@@ -166,26 +171,32 @@ class JobQueue {
 
   [[nodiscard]] double rank_of(const Job& job) const;
   PushOutcome push_locked(
-      Job&& job, std::unique_lock<std::mutex>& lock, bool blocking,
-      std::optional<std::chrono::steady_clock::time_point> deadline);
+      Job&& job, MutexLock& lock, bool blocking,
+      std::optional<std::chrono::steady_clock::time_point> deadline)
+      NEUTRAL_REQUIRES(mutex_);
   /// Purge dead entries sitting at the heap top so heap_.front() is live
   /// whenever live_ > 0.
-  void drop_dead_top_locked();
-  Job take_top_locked();
-  void note_depth_locked();
+  void drop_dead_top_locked() NEUTRAL_REQUIRES(mutex_);
+  Job take_top_locked() NEUTRAL_REQUIRES(mutex_);
+  void note_depth_locked() NEUTRAL_REQUIRES(mutex_);
   void note_push_outcome(PushOutcome outcome, double wait_seconds);
+  [[nodiscard]] bool group_cancelled_locked(std::uint64_t group) const
+      NEUTRAL_REQUIRES(mutex_);
 
   const std::size_t capacity_;
   const QueuePolicy policy_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::vector<Entry> heap_;  // managed with std::push_heap/std::pop_heap
-  std::size_t live_ = 0;     // heap_ entries with !dead
-  std::unordered_set<std::uint64_t> cancelled_groups_;
-  std::uint64_t next_sequence_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  // Managed with std::push_heap/std::pop_heap.
+  std::vector<Entry> heap_ NEUTRAL_GUARDED_BY(mutex_);
+  // heap_ entries with !dead.
+  std::size_t live_ NEUTRAL_GUARDED_BY(mutex_) = 0;
+  std::unordered_set<std::uint64_t> cancelled_groups_
+      NEUTRAL_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ NEUTRAL_GUARDED_BY(mutex_) = 0;
+  bool closed_ NEUTRAL_GUARDED_BY(mutex_) = false;
 
   // Null when the queue is unobserved (the default); resolved once in the
   // ctor so the hot paths never look anything up by name.

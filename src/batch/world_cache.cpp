@@ -58,7 +58,7 @@ std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
   std::promise<std::shared_ptr<const World>> promise;
   bool builder = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -80,7 +80,7 @@ std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
       std::shared_ptr<const World> world = build();
       const std::uint64_t bytes = world->footprint_bytes();
       promise.set_value(std::move(world));
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {  // clear() may have raced us
         it->second.bytes = bytes;
@@ -91,7 +91,7 @@ std::shared_ptr<const World> WorldCache::acquire_keyed(std::uint64_t key,
       }
     } catch (...) {
       promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       entries_.erase(key);
       ++stats_.evictions;
       if (evictions_ != nullptr) evictions_->add();
@@ -121,7 +121,7 @@ void WorldCache::evict_over_budget_locked(std::uint64_t protect) {
 }
 
 WorldCache::Stats WorldCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats snapshot = stats_;
   snapshot.resident_bytes = resident_bytes_;
   snapshot.resident_worlds = 0;
@@ -133,12 +133,12 @@ WorldCache::Stats WorldCache::stats() const {
 }
 
 std::size_t WorldCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void WorldCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   resident_bytes_ = 0;
   note_residency_locked();

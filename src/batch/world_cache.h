@@ -25,11 +25,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/deck.h"
 #include "core/world.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace neutral::obs {
 class MetricsRegistry;
@@ -67,29 +68,32 @@ class WorldCache {
   /// Return the world for `deck`, building it on first sight.  If `hit` is
   /// non-null it reports whether this call reused an existing entry.
   std::shared_ptr<const World> acquire(const ProblemDeck& deck,
-                                       bool* hit = nullptr);
+                                       bool* hit = nullptr)
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Same, keyed by a precomputed world_fingerprint(deck) — the engine
   /// uses the fingerprint Jobs carry from submission time so the hash
   /// (which walks every deck region) is paid once per job, not per run.
   std::shared_ptr<const World> acquire(const ProblemDeck& deck,
-                                       std::uint64_t fingerprint, bool* hit);
+                                       std::uint64_t fingerprint, bool* hit)
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Slab variant, keyed by domain_world_fingerprint(deck, window): domain
   /// decompositions of sweep jobs that share geometry reuse one slab world
   /// per window instead of rebuilding mesh + XS tables per job.
   std::shared_ptr<const World> acquire(const ProblemDeck& deck,
                                        const DomainWindow& window,
-                                       bool* hit = nullptr);
+                                       bool* hit = nullptr)
+      NEUTRAL_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const NEUTRAL_EXCLUDES(mutex_);
   [[nodiscard]] const WorldCacheOptions& options() const { return options_; }
 
   /// Number of cached (or in-flight) worlds.
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const NEUTRAL_EXCLUDES(mutex_);
 
   /// Drop every entry; outstanding shared_ptrs stay valid.
-  void clear();
+  void clear() NEUTRAL_EXCLUDES(mutex_);
 
  private:
   using Future = std::shared_future<std::shared_ptr<const World>>;
@@ -97,7 +101,8 @@ class WorldCache {
 
   /// Shared hit/miss/build/evict machinery behind every acquire overload.
   std::shared_ptr<const World> acquire_keyed(std::uint64_t key,
-                                             const Builder& build, bool* hit);
+                                             const Builder& build, bool* hit)
+      NEUTRAL_EXCLUDES(mutex_);
 
   struct Entry {
     Future future;
@@ -108,16 +113,18 @@ class WorldCache {
 
   /// Drop LRU built entries until the budget holds; `protect` (the entry
   /// that just finished building) is never evicted.  Caller holds mutex_.
-  void evict_over_budget_locked(std::uint64_t protect);
+  void evict_over_budget_locked(std::uint64_t protect)
+      NEUTRAL_REQUIRES(mutex_);
   /// Refresh the resident gauges after any entries_ mutation (lock held).
-  void note_residency_locked();
+  void note_residency_locked() NEUTRAL_REQUIRES(mutex_);
 
   WorldCacheOptions options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t resident_bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_
+      NEUTRAL_GUARDED_BY(mutex_);
+  std::uint64_t tick_ NEUTRAL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t resident_bytes_ NEUTRAL_GUARDED_BY(mutex_) = 0;
+  Stats stats_ NEUTRAL_GUARDED_BY(mutex_);
 
   // Resolved once in the ctor from options_.metrics; null = unobserved.
   obs::Counter* hits_ = nullptr;

@@ -252,8 +252,13 @@ StepResult Simulation::step_transport(bool wake_census) {
 }
 
 void Simulation::check_interrupt() const {
+  // Acquire pairs with the canceller's store: anything the cancelling
+  // thread wrote before flipping the flag (an error message, a shutdown
+  // reason) is visible here.  Cost is irrelevant — this runs once per
+  // timestep/round boundary, not per event — and it keeps the determinism
+  // lint's rule simple: relaxed ordering lives only in the metrics shards.
   if (config_.cancel != nullptr &&
-      config_.cancel->load(std::memory_order_relaxed)) {
+      config_.cancel->load(std::memory_order_acquire)) {
     throw Error("run cancelled");
   }
   if (config_.deadline != std::chrono::steady_clock::time_point::max() &&

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/errno_string.h"
 #include "util/error.h"
 
 namespace neutral::net {
@@ -15,7 +16,7 @@ namespace neutral::net {
 namespace {
 
 [[noreturn]] void fail_errno(const char* what) {
-  throw Error(std::string(what) + ": " + std::strerror(errno));
+  throw Error(std::string(what) + ": " + errno_string(errno));
 }
 
 std::uint32_t interest_mask(bool read, bool write) {

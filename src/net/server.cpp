@@ -17,6 +17,7 @@
 #include "io/deck_io.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
+#include "util/errno_string.h"
 #include "util/error.h"
 
 namespace neutral::net {
@@ -250,7 +251,7 @@ void NeutralServer::accept_ready() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       // EMFILE/ENFILE and friends: transient resource pressure — log and
       // retry on the next readiness instead of killing the loop.
-      log(std::string("accept failed: ") + std::strerror(errno));
+      log("accept failed: " + errno_string(errno));
       break;
     }
     if (stopping_.load()) {
@@ -519,7 +520,7 @@ void NeutralServer::start_watch(Connection& conn, const Fields& request,
   try {
     const std::uint64_t id =
         static_cast<std::uint64_t>(field_int(request, "id", 0));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = submissions_.find(id);
     NEUTRAL_REQUIRE(it != submissions_.end(),
                     "unknown submission id " + std::to_string(id));
@@ -562,7 +563,7 @@ void NeutralServer::pump_watcher(Connection& conn) {
   Fields header;
   std::vector<RemoteRow> rows;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const Submission& sub = *watcher.sub;
     if (watcher.stream_events && sub.events.size() > watcher.next_event) {
       fresh.assign(sub.events.begin() +
@@ -715,7 +716,7 @@ Fields NeutralServer::handle_submit(Connection& conn, const Fields& request) {
   NEUTRAL_REQUIRE(sub->shards >= 0, "shards must be >= 0");
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     NEUTRAL_REQUIRE(!stopping_.load(), "server is shutting down");
     std::size_t active = pending_.size();
     for (const auto& [id, existing] : submissions_) {
@@ -775,7 +776,7 @@ void NeutralServer::finish_locked(Submission& sub) {
 }
 
 Fields NeutralServer::handle_status(const Fields& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto id_it = request.find("id");
   if (id_it == request.end()) {
     std::size_t queued = 0, running = 0, done = 0;
@@ -821,7 +822,7 @@ Fields NeutralServer::handle_cancel(const Fields& request) {
       static_cast<std::uint64_t>(field_int(request, "id", 0));
   const char* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = submissions_.find(id);
     NEUTRAL_REQUIRE(it != submissions_.end(),
                     "unknown submission id " + std::to_string(id));
@@ -863,8 +864,8 @@ void NeutralServer::executor_loop() {
   while (true) {
     std::shared_ptr<Submission> sub;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_.load() || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_.load() && pending_.empty()) cv_.wait(lock);
       if (pending_.empty()) break;  // stopping and drained
       sub = pending_.front();
       pending_.pop_front();
@@ -884,7 +885,7 @@ void NeutralServer::executor_loop() {
     cv_.notify_all();
     execute(sub);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       finish_locked(*sub);
       evict_done_locked();
       note_submissions_locked();
@@ -928,14 +929,14 @@ void NeutralServer::execute(const std::shared_ptr<Submission>& sub) {
     // client `cancel` stops in-flight work at the next timestep boundary.
     for (Job& job : sweep_jobs) job.config.cancel = sub->cancel.get();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       sub->jobs_total = sweep_jobs.size();
     }
 
     auto push_event = [&](std::string label, std::string row_status,
                           double seconds, std::int32_t worker) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         sub->events.push_back(Event{std::move(label), std::move(row_status),
                                     seconds, worker});
       }
@@ -1099,7 +1100,7 @@ void NeutralServer::execute(const std::shared_ptr<Submission>& sub) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sub->rows = std::move(rows);
     sub->status = status;
     sub->error = error;

@@ -64,16 +64,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #include "batch/engine.h"
 #include "net/frame.h"
@@ -185,6 +186,12 @@ class NeutralServer {
     std::int32_t worker = -1;
   };
 
+  /// Mutable fields (state, status, error, jobs_total, events, rows) are
+  /// guarded by the owning server's mutex_.  Stated as a comment rather
+  /// than NEUTRAL_GUARDED_BY because a nested struct cannot name the outer
+  /// instance's capability; every access site sits inside a MutexLock
+  /// scope in server.cpp, which the analysis does check via the locked
+  /// helpers that touch these fields.
   struct Submission {
     std::uint64_t id = 0;
     std::string label;
@@ -247,10 +254,10 @@ class NeutralServer {
   /// winding down (shutdown op).
   bool dispatch_line(Connection& conn, const Fields& request);
   void start_watch(Connection& conn, const Fields& request,
-                   bool stream_events);
+                   bool stream_events) NEUTRAL_EXCLUDES(mutex_);
   /// Send any fresh watcher output; completes/aborts the watcher when the
   /// submission is done, the deadline passed, or the server is stopping.
-  void pump_watcher(Connection& conn);
+  void pump_watcher(Connection& conn) NEUTRAL_EXCLUDES(mutex_);
   void pump_watchers();
   void check_stalls();
   /// Queue `frame` on the connection and flush opportunistically; applies
@@ -266,22 +273,23 @@ class NeutralServer {
   void note_connections_open();
 
   // --- request handlers ---
-  Fields handle_submit(Connection& conn, const Fields& request);
-  Fields handle_status(const Fields& request);
-  Fields handle_cancel(const Fields& request);
+  Fields handle_submit(Connection& conn, const Fields& request)
+      NEUTRAL_EXCLUDES(mutex_);
+  Fields handle_status(const Fields& request) NEUTRAL_EXCLUDES(mutex_);
+  Fields handle_cancel(const Fields& request) NEUTRAL_EXCLUDES(mutex_);
   Fields handle_metrics();
-  /// Refresh the submission gauges after any state change (lock held).
-  void note_submissions_locked();
+  /// Refresh the submission gauges after any state change.
+  void note_submissions_locked() NEUTRAL_REQUIRES(mutex_);
   /// Transition to kDone and release the owner's in-flight slot exactly
-  /// once (lock held).
-  void finish_locked(Submission& sub);
+  /// once.
+  void finish_locked(Submission& sub) NEUTRAL_REQUIRES(mutex_);
 
   // --- executor ---
-  void executor_loop();
-  void execute(const std::shared_ptr<Submission>& sub);
+  void executor_loop() NEUTRAL_EXCLUDES(mutex_);
+  void execute(const std::shared_ptr<Submission>& sub)
+      NEUTRAL_EXCLUDES(mutex_);
   /// Drop the oldest finished submissions beyond max_retained_results.
-  /// Caller holds mutex_.
-  void evict_done_locked();
+  void evict_done_locked() NEUTRAL_REQUIRES(mutex_);
 
   void log(const std::string& line);
   void trace_connection(const char* event, const Connection& conn,
@@ -308,11 +316,16 @@ class NeutralServer {
   std::vector<std::unique_ptr<Connection>> graveyard_;
   std::uint64_t next_conn_id_ = 1;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::uint64_t, std::shared_ptr<Submission>> submissions_;
-  std::deque<std::shared_ptr<Submission>> pending_;
-  std::uint64_t next_id_ = 1;
+  /// Guards the submission registry shared between the event loop and the
+  /// executor thread.  Never held across a solve: execute() copies what it
+  /// needs out, runs unlocked, and locks again to publish results.
+  Mutex mutex_;
+  CondVar cv_;
+  std::map<std::uint64_t, std::shared_ptr<Submission>> submissions_
+      NEUTRAL_GUARDED_BY(mutex_);
+  std::deque<std::shared_ptr<Submission>> pending_
+      NEUTRAL_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ NEUTRAL_GUARDED_BY(mutex_) = 1;
   std::atomic<bool> stopping_{false};
 
   std::thread executor_;

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/errno_string.h"
 #include "util/error.h"
 
 namespace neutral::net {
@@ -22,7 +23,7 @@ namespace neutral::net {
 namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
-  throw Error(what + ": " + std::strerror(errno));
+  throw Error(what + ": " + errno_string(errno));
 }
 
 /// Resolve host:port to every usable IPv4/IPv6 address, in resolver

@@ -8,7 +8,13 @@ namespace neutral::obs {
 namespace {
 
 std::string quoted(const std::string& s) {
-  return "\"" + json_escape(s) + "\"";
+  // Built with += rather than `"\"" + json_escape(s) + "\""`: gcc 12's
+  // -Wrestrict misfires on that operator+ chain (GCC PR105329) and this
+  // tree builds warnings-as-errors.
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
 }
 
 void check_number(const JsonValue& obj, const char* key,

@@ -101,7 +101,6 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
                                                const std::string& help,
                                                MetricType type) {
-  // Caller holds mutex_.
   auto it = index_.find(name);
   if (it != index_.end()) {
     Entry& existing = *entries_[it->second];
@@ -122,7 +121,7 @@ MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entry(name, help, MetricType::kCounter);
   if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
   return *e.counter;
@@ -130,7 +129,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entry(name, help, MetricType::kGauge);
   if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -139,14 +138,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       Histogram::Options options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entry(name, help, MetricType::kHistogram);
   if (e.histogram == nullptr) e.histogram = std::make_unique<Histogram>(options);
   return *e.histogram;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.metrics.reserve(entries_.size());
   for (const auto& e : entries_) {

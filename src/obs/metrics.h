@@ -19,13 +19,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/aligned.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace neutral::obs {
 
@@ -40,6 +41,28 @@ std::size_t metric_shard() noexcept;
 /// Monotonic counter.  add() is wait-free and contention-free across up to
 /// kMetricShards concurrent writers; value() sums the shards (exact once
 /// writers quiesce, monotone under load).
+///
+/// Memory-ordering contract (the only place in the tree where
+/// memory_order_relaxed is permitted — the determinism lint enforces
+/// that scope).  Both sides are relaxed on purpose:
+///
+///  - Atomicity and per-object modification-order coherence are unaffected
+///    by the ordering argument: each fetch_add is indivisible and each
+///    load returns some fully committed value of that shard — never a torn
+///    word, never a value that later "decreases".  A single scraper thread
+///    therefore sees every counter monotone across successive snapshots.
+///  - EXACTNESS after quiescence comes from a happens-before edge that is
+///    established OUTSIDE the counter: writers quiesce via std::thread
+///    join (engine teardown), or via an acquire/release mutex pair (e.g.
+///    the engine's report mutex, the server's submission mutex) that the
+///    reader also passes through.  Any such edge sequences the writer's
+///    relaxed add before the reader's relaxed load, so the sum over shards
+///    is exact.  test_tsan_stress asserts this end-to-end under TSan.
+///  - UNDER LOAD (scraper racing live writers) no cross-shard ordering is
+///    promised: a snapshot may include shard A's newest add but not shard
+///    B's older one.  That is acceptable for liveness metrics and is why
+///    no seq_cst/acquire fence is bought here — the whole point of the
+///    padded shards is that transport workers never pay for observation.
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
@@ -149,16 +172,19 @@ struct MetricsSnapshot {
 /// lock-free).  Asking for an existing name as a different type throws.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name, const std::string& help = "");
-  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Counter& counter(const std::string& name, const std::string& help = "")
+      NEUTRAL_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const std::string& help = "")
+      NEUTRAL_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, const std::string& help = "",
-                       Histogram::Options options = Histogram::Options());
+                       Histogram::Options options = Histogram::Options())
+      NEUTRAL_EXCLUDES(mutex_);
 
   /// Consistent-enough point-in-time read: each metric is internally
   /// coherent (counters monotone, histogram count == sum of buckets is not
   /// guaranteed under load, but every cell is a valid committed value —
   /// never a torn word).
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const NEUTRAL_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -170,11 +196,15 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
   Entry& entry(const std::string& name, const std::string& help,
-               MetricType type);
+               MetricType type) NEUTRAL_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
-  std::unordered_map<std::string, std::size_t> index_;
+  /// Guards the registry structure (entries_/index_) only — never the
+  /// metric cells themselves, which are lock-free atomics (see Counter).
+  mutable Mutex mutex_;
+  /// Registration order.
+  std::vector<std::unique_ptr<Entry>> entries_ NEUTRAL_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::size_t> index_
+      NEUTRAL_GUARDED_BY(mutex_);
 };
 
 }  // namespace neutral::obs

@@ -8,12 +8,16 @@
 namespace neutral::obs {
 
 TraceLog::TraceLog(const std::string& path)
-    : path_(path), file_(std::fopen(path.c_str(), "w")),
-      epoch_(std::chrono::steady_clock::now()) {
+    : path_(path), epoch_(std::chrono::steady_clock::now()) {
+  MutexLock lock(mutex_);
+  file_ = std::fopen(path.c_str(), "w");
   NEUTRAL_REQUIRE(file_ != nullptr, "cannot open trace log '" + path + "'");
 }
 
 TraceLog::~TraceLog() {
+  // Locked even though a destructor implies exclusivity: the analysis has
+  // no such notion, and the uncontended acquire is free next to fclose.
+  MutexLock lock(mutex_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -44,7 +48,7 @@ void TraceLog::record(const TraceEvent& event) {
     line += ",\"detail\":\"" + json_escape(event.detail) + "\"";
   }
   line += "}\n";
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
 }

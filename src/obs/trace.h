@@ -13,8 +13,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace neutral::obs {
 
@@ -38,14 +40,16 @@ class TraceLog {
   TraceLog(const TraceLog&) = delete;
   TraceLog& operator=(const TraceLog&) = delete;
 
-  void record(const TraceEvent& event);
+  void record(const TraceEvent& event) NEUTRAL_EXCLUDES(mutex_);
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
-  std::mutex mutex_;
+  Mutex mutex_;
+  /// The stream (not the pointer) is what the lock serialises; writers
+  /// format off-lock and hold mutex_ only across fwrite+fflush.
+  std::FILE* file_ NEUTRAL_GUARDED_BY(mutex_) = nullptr;
   std::chrono::steady_clock::time_point epoch_;
 };
 

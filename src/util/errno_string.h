@@ -1,0 +1,31 @@
+// Thread-safe errno formatting.
+//
+// std::strerror returns a pointer into internal static storage and is not
+// required to be reentrant (clang-tidy concurrency-mt-unsafe flags it); a
+// multi-threaded daemon must use strerror_r.  Which strerror_r depends on
+// feature macros — XSI returns int and fills the buffer, GNU returns a
+// char* that may ignore the buffer — so dispatch on the return type
+// instead of on brittle #ifdefs.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace neutral {
+
+namespace detail {
+// XSI strerror_r: int result, message written into buf.
+inline const char* errno_text(int /*result*/, const char* buf) { return buf; }
+// GNU strerror_r: the returned pointer is the message (buf may be unused).
+inline const char* errno_text(const char* result, const char* /*buf*/) {
+  return result;
+}
+}  // namespace detail
+
+/// strerror(err) without the shared static buffer: safe from any thread.
+inline std::string errno_string(int err) {
+  char buf[256] = {};
+  return detail::errno_text(strerror_r(err, buf, sizeof buf), buf);
+}
+
+}  // namespace neutral

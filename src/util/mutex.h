@@ -1,0 +1,95 @@
+// Annotated mutex vocabulary: the lockable types the thread-safety
+// analysis can see.
+//
+// std::mutex / std::lock_guard / std::condition_variable carry no
+// capability attributes under libstdc++, so clang's -Wthread-safety treats
+// them as opaque.  These wrappers add exactly that metadata and nothing
+// else — Mutex IS a std::mutex, MutexLock IS a std::unique_lock, CondVar
+// IS a std::condition_variable; the wrappers compile away entirely.
+//
+// Discipline they encode:
+//   - Declare shared state NEUTRAL_GUARDED_BY(mutex_); the analysis then
+//     rejects any access outside a MutexLock scope (or a function
+//     annotated NEUTRAL_REQUIRES(mutex_)).
+//   - Private helpers that assume the lock take the `_locked` suffix AND
+//     the NEUTRAL_REQUIRES annotation — the suffix is for humans, the
+//     annotation is what the compiler enforces.
+//   - Condition-variable waits spell their predicate as an explicit
+//     `while (!cond) cv.wait(lock);` loop instead of a predicate lambda:
+//     lambdas cannot carry REQUIRES annotations, so guarded reads inside
+//     them would need analysis waivers; the explicit loop keeps every
+//     guarded access visibly inside the locked scope.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace neutral {
+
+/// std::mutex with a capability attribute.  Prefer MutexLock over calling
+/// lock()/unlock() directly.
+class NEUTRAL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NEUTRAL_ACQUIRE() { mutex_.lock(); }
+  void unlock() NEUTRAL_RELEASE() { mutex_.unlock(); }
+  bool try_lock() NEUTRAL_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The raw mutex, for CondVar only — going around the wrapper drops the
+  /// capability tracking.
+  [[nodiscard]] std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock over a Mutex, visible to the analysis as a scoped capability.
+/// Internally a std::unique_lock so CondVar can wait on it.
+class NEUTRAL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NEUTRAL_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() NEUTRAL_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable that waits on a MutexLock.  From the analysis'
+/// static viewpoint the capability stays held across a wait (the transient
+/// release/reacquire inside is invisible, which is the standard treatment
+/// — the caller's guarded accesses before and after the wait are both
+/// genuinely under the lock).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace neutral

@@ -1,0 +1,85 @@
+// Clang thread-safety-analysis macro shims.
+//
+// Wraps the capability attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so lock discipline
+// is part of the type system: a clang build with
+//   -Wthread-safety -Werror=thread-safety
+// refuses to compile code that touches a NEUTRAL_GUARDED_BY member without
+// holding its mutex, calls a NEUTRAL_REQUIRES function unlocked, or leaks a
+// NEUTRAL_SCOPED_CAPABILITY guard.  Off clang (gcc, MSVC) every macro
+// expands to nothing, so the annotations cost non-clang builds exactly
+// zero — they are compiled documentation that one compiler happens to
+// machine-check.  CI runs that clang configuration (see the clang-tidy job
+// in .github/workflows/ci.yml), so a lock-discipline bug fails the build
+// there instead of waiting for a flaky test.
+//
+// Use the neutral::Mutex / neutral::MutexLock / neutral::CondVar wrappers
+// from util/mutex.h — std::mutex itself carries no capability attribute,
+// so the analysis cannot see it.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NEUTRAL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEUTRAL_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define NEUTRAL_CAPABILITY(x) NEUTRAL_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define NEUTRAL_SCOPED_CAPABILITY NEUTRAL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member attribute: reads and writes require holding `x`.
+#define NEUTRAL_GUARDED_BY(x) NEUTRAL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Data member attribute: the pointed-to data (not the pointer itself)
+/// requires holding `x`.
+#define NEUTRAL_PT_GUARDED_BY(x) NEUTRAL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: the caller must hold the listed capabilities
+/// exclusively on entry (they stay held on exit).
+#define NEUTRAL_REQUIRES(...) \
+  NEUTRAL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must hold the listed capabilities at
+/// least shared.
+#define NEUTRAL_REQUIRES_SHARED(...) \
+  NEUTRAL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the listed capabilities (must not be held
+/// on entry; held on exit).
+#define NEUTRAL_ACQUIRE(...) \
+  NEUTRAL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities.
+#define NEUTRAL_RELEASE(...) \
+  NEUTRAL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capabilities iff the return value
+/// equals the first argument.
+#define NEUTRAL_TRY_ACQUIRE(...) \
+  NEUTRAL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function attribute: the caller must NOT hold the listed capabilities
+/// (deadlock prevention for functions that take them internally).
+#define NEUTRAL_EXCLUDES(...) \
+  NEUTRAL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: asserts (at runtime, from the analysis' viewpoint)
+/// that the capability is held — escape hatch for code the analysis cannot
+/// follow.
+#define NEUTRAL_ASSERT_CAPABILITY(x) \
+  NEUTRAL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: the returned reference is guarded by the returned
+/// capability.
+#define NEUTRAL_RETURN_CAPABILITY(x) \
+  NEUTRAL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis entirely.
+/// Every use must carry a comment justifying why the analysis cannot see
+/// the invariant.
+#define NEUTRAL_NO_THREAD_SAFETY_ANALYSIS \
+  NEUTRAL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -246,7 +246,9 @@ TEST_P(DomainMatrix, BitIdenticalAcrossGridsAndWorkers) {
       }
       EXPECT_EQ(report.migrations, static_cast<std::int64_t>(
                                        report.merged.counters.migrations));
-      if (rows * cols > 1) EXPECT_GT(report.migrations, 0);
+      if (rows * cols > 1) {
+        EXPECT_GT(report.migrations, 0);
+      }
 
       // The stitched image matches the unsharded compensated tally cell
       // by cell, not just through the checksum.

@@ -203,11 +203,15 @@ TEST_P(GoldenSchemes, FastPathsPreserveChecksumsExactly) {
             XsLookup::kBucketedIndex, XsLookup::kUnionised}) {
         for (const bool rng_batch : {false, true}) {
           for (const bool branchless : {false, true}) {
-            // Event sorting only exists in the Over Events scheme.
-            for (const bool sort :
-                 scheme == Scheme::kOverEvents
-                     ? std::initializer_list<bool>{false, true}
-                     : std::initializer_list<bool>{false}) {
+            // Event sorting only exists in the Over Events scheme.  A
+            // named vector, not a ternary over initializer_lists: the
+            // backing array of the not-chosen list is a temporary whose
+            // lifetime gcc 12 (correctly) refuses to extend through the
+            // conditional into the loop (-Wdangling-pointer).
+            const std::vector<bool> sort_values =
+                scheme == Scheme::kOverEvents ? std::vector<bool>{false, true}
+                                              : std::vector<bool>{false};
+            for (const bool sort : sort_values) {
               for (const bool fuse : fuse_values) {
                 for (const std::int32_t pipeline : pipeline_values) {
                   for (const bool direct : {false, true}) {

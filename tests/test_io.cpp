@@ -241,7 +241,10 @@ TEST(DeckIoProperty, MalformedDecksErrorInsteadOfCrashing) {
         text[cut] = static_cast<char>('!' + (rng.next_u64() % 90));
         break;
       default:  // duplicate a prefix (repeated/conflicting keys)
-        text += "\n" + text.substr(0, cut);
+        // Two appends, not `text += "\n" + text.substr(...)`: gcc 12's
+        // -Wrestrict misfires on that operator+ chain (GCC PR105329).
+        text += '\n';
+        text += text.substr(0, cut);
         break;
     }
     try {

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""clang-tidy runner with a committed-baseline diff gate.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over every
+first-party translation unit in the compile database and compares the
+findings against tools/tidy/baseline.txt:
+
+  - a finding present in the baseline is tolerated (legacy backlog);
+  - a finding NOT in the baseline fails the run (exit 1) — new code may
+    not add violations;
+  - a baseline entry that no longer fires is reported so the baseline can
+    shrink (burn-down is ratcheted by re-running --update-baseline, which
+    can only ever be a net win in review).
+
+Baseline entries are `path [check] message` — deliberately WITHOUT line
+numbers, so unrelated edits shifting a file do not churn the gate.
+
+Usage:
+  python3 tools/tidy/run_tidy.py [--build-dir build] [--update-baseline]
+                                 [--clang-tidy clang-tidy-15] [--jobs N]
+
+The build dir must hold compile_commands.json (the default CMake
+configure exports it; see CMAKE_EXPORT_COMPILE_COMMANDS in
+CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+FIRST_PARTY = ("src/", "apps/", "bench/", "tests/", "examples/")
+
+# clang-tidy diagnostic: /abs/path.cpp:12:34: warning: message [check-name]
+DIAG = re.compile(
+    r"^(?P<path>/[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*) \[(?P<check>[^\]]+)\]$"
+)
+
+
+def first_party_sources(build_dir: Path) -> list[str]:
+    database = json.loads((build_dir / "compile_commands.json").read_text())
+    sources = set()
+    for entry in database:
+        path = Path(entry["file"])
+        try:
+            rel = path.relative_to(REPO)
+        except ValueError:
+            continue
+        if str(rel).startswith(FIRST_PARTY):
+            sources.add(str(path))
+    return sorted(sources)
+
+
+def run_one(clang_tidy: str, build_dir: Path, source: str) -> str:
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", source],
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    return proc.stdout
+
+
+def normalise(raw: str) -> set[str]:
+    findings = set()
+    for line in raw.splitlines():
+        match = DIAG.match(line)
+        if match is None:
+            continue
+        path = Path(match.group("path"))
+        try:
+            rel = path.relative_to(REPO)
+        except ValueError:
+            continue  # system/third-party header
+        if not str(rel).startswith(FIRST_PARTY):
+            continue
+        findings.add(
+            f"{rel} [{match.group('check')}] {match.group('message')}"
+        )
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", type=Path)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--jobs", type=int, default=multiprocessing.cpu_count()
+    )
+    args = parser.parse_args()
+
+    build_dir = (
+        args.build_dir
+        if args.build_dir.is_absolute()
+        else REPO / args.build_dir
+    )
+    if not (build_dir / "compile_commands.json").exists():
+        print(f"no compile_commands.json under {build_dir}; configure first",
+              file=sys.stderr)
+        return 2
+
+    sources = first_party_sources(build_dir)
+    print(f"clang-tidy over {len(sources)} first-party TUs ...")
+    findings: set[str] = set()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for raw in pool.map(
+            lambda s: run_one(args.clang_tidy, build_dir, s), sources
+        ):
+            findings |= normalise(raw)
+
+    if args.update_baseline:
+        BASELINE.write_text(
+            "".join(line + "\n" for line in sorted(findings))
+        )
+        print(f"baseline updated: {len(findings)} entries")
+        return 0
+
+    baseline = {
+        line
+        for line in (
+            BASELINE.read_text().splitlines() if BASELINE.exists() else []
+        )
+        if line and not line.startswith("#")
+    }
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    if fixed:
+        print(f"{len(fixed)} baseline entries no longer fire "
+              "(re-run --update-baseline to ratchet down):")
+        for line in fixed:
+            print(f"  stale: {line}")
+    if new:
+        print(f"FAIL: {len(new)} finding(s) not in the baseline:")
+        for line in new:
+            print(f"  {line}")
+        return 1
+    print(f"OK: no new findings ({len(findings)} total, "
+          f"{len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
